@@ -1,0 +1,48 @@
+"""Ablation: each GCRM optimization applied ALONE against the baseline.
+
+The paper applies them cumulatively (Figure 6); this bench decomposes the
+contributions: collective buffering attacks the straggler/contention
+term, alignment attacks the lock/RMW term, metadata aggregation attacks
+the rank-0 serial term.  Each alone must beat the baseline.  (In this
+model alignment alone is the single largest win, because the quadratic
+lock/RMW contention at full writer concurrency is the baseline's biggest
+term -- a decomposition the cumulative paper sequence cannot show.)
+"""
+
+from repro.apps.gcrm import GcrmConfig, run_gcrm
+from repro.iosys.machine import MachineConfig, MiB
+
+NTASKS = 512
+IO_TASKS = 8
+STRIPE = max(2, round(48 * NTASKS / 10240))
+SLABS_PER_TXN = max(8, round(512 * NTASKS / 10240))
+
+
+def _run(**kw):
+    cfg = GcrmConfig(
+        ntasks=NTASKS,
+        stripe_count=STRIPE,
+        machine=MachineConfig.franklin(),
+        slabs_per_meta_txn=SLABS_PER_TXN,
+        **kw,
+    )
+    return run_gcrm(cfg).elapsed
+
+
+def test_each_optimization_alone(run_once, benchmark):
+    def scenario():
+        return {
+            "baseline": _run(),
+            "cb_only": _run(io_tasks=IO_TASKS),
+            "align_only": _run(alignment=1 * MiB),
+            "metaagg_only": _run(metadata_aggregation=True),
+        }
+
+    elapsed = run_once(scenario)
+    benchmark.extra_info["elapsed_s"] = {
+        k: round(v, 1) for k, v in elapsed.items()
+    }
+    base = elapsed["baseline"]
+    assert elapsed["cb_only"] < base
+    assert elapsed["align_only"] < base
+    assert elapsed["metaagg_only"] < base

@@ -1,0 +1,53 @@
+"""Ablation: the node service discipline is what creates the harmonic
+modes of Figure 1(c).
+
+With the mixed discipline (some bursts exclusive, some pairwise, some
+fair) the completion-time ensemble is multimodal and harmonic; forcing
+pure fair-share service collapses it to a single mode at the fair-share
+time.  This pins the mechanism DESIGN.md claims for the figure.
+"""
+
+from repro.apps.ior import IorConfig, run_ior
+from repro.ensembles.distribution import EmpiricalDistribution
+from repro.ensembles.modes import detect_modes, harmonics
+from repro.iosys.machine import MachineConfig, MiB
+
+NTASKS = 256
+BLOCK = 128 * MiB
+
+
+def _machine(weights):
+    m = MachineConfig.franklin(discipline_weights=weights)
+    return m.with_overrides(
+        fs_bw=m.fs_bw * NTASKS / 1024,
+        fs_read_bw=m.fs_read_bw * NTASKS / 1024,
+        dirty_quota=m.dirty_quota * BLOCK / (512 * MiB),
+    )
+
+
+def _modes_of(machine):
+    cfg = IorConfig(
+        ntasks=NTASKS, block_size=BLOCK, transfer_size=BLOCK,
+        repetitions=5, stripe_count=48, machine=machine,
+    )
+    res = run_ior(cfg)
+    dist = EmpiricalDistribution(res.trace.writes().durations)
+    return detect_modes(dist, bandwidth=0.15)
+
+
+def test_discipline_mix_creates_harmonics(run_once, benchmark):
+    def scenario():
+        mixed = _modes_of(_machine({1: 0.35, 2: 0.30, 4: 0.35}))
+        fair = _modes_of(_machine({4: 1.0}))
+        return mixed, fair
+
+    mixed, fair = run_once(scenario)
+    benchmark.extra_info["mixed_mode_locations"] = [
+        round(m.location, 2) for m in mixed
+    ]
+    benchmark.extra_info["fair_mode_locations"] = [
+        round(m.location, 2) for m in fair
+    ]
+    structure = harmonics(mixed)
+    assert len(mixed) >= 3 and structure and structure.is_harmonic
+    assert len(fair) <= 2  # fair service: the harmonic peaks are gone

@@ -1,0 +1,52 @@
+"""Ablation: the MADbench pathology needs BOTH bug conditions.
+
+Section IV's mechanism is a conjunction: (1) strided-pattern detection
+widens the read-ahead window, AND (2) client memory is full of dirty
+write pages.  Toggling each condition independently shows neither alone
+degrades reads -- exactly the subtle interaction that made the bug hard
+to isolate without ensemble statistics.
+"""
+
+from repro.apps.madbench import MadbenchConfig, run_madbench
+from repro.iosys.machine import MachineConfig, MiB
+
+NTASKS = 32
+MATRIX = 32 * MiB - 517 * 1024
+
+
+def _run(strided_readahead: bool, pressure_threshold: float):
+    machine = MachineConfig.franklin(
+        strided_readahead=strided_readahead,
+        pressure_threshold=pressure_threshold,
+        dirty_quota=MATRIX // 4,
+        noise_sigma=0.05,
+        tail_prob=0.0,
+    )
+    cfg = MadbenchConfig(
+        ntasks=NTASKS, matrix_bytes=MATRIX, stripe_count=8, machine=machine
+    )
+    res = run_madbench(cfg)
+    return res.elapsed, res.meta["degraded_reads"]
+
+
+def test_bug_requires_both_conditions(run_once, benchmark):
+    def scenario():
+        return {
+            "detection+pressure": _run(True, 0.6),
+            "detection_only": _run(True, 1.1),  # pressure can never qualify
+            "pressure_only": _run(False, 0.6),  # detection patched out
+        }
+
+    results = run_once(scenario)
+    benchmark.extra_info["elapsed_s"] = {
+        k: round(v[0], 1) for k, v in results.items()
+    }
+    benchmark.extra_info["degraded_reads"] = {
+        k: v[1] for k, v in results.items()
+    }
+    both_t, both_n = results["detection+pressure"]
+    det_t, det_n = results["detection_only"]
+    pre_t, pre_n = results["pressure_only"]
+    assert both_n > 0, "conjunction must trigger the bug"
+    assert det_n == 0 and pre_n == 0, "either condition alone is benign"
+    assert both_t > 1.3 * det_t and both_t > 1.3 * pre_t

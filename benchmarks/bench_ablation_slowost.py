@@ -1,0 +1,81 @@
+"""Ablation: fault injection -> bimodal ensemble -> device localisation.
+
+A single degraded OST (6x service slowdown) creates a secondary slow mode
+in the write ensemble whose weight matches the fraction of transfers that
+touch the device; grouping the ensemble by serving OST names the device.
+On the healthy machine both effects vanish.
+"""
+
+from repro.apps.harness import SimJob
+from repro.ensembles.distribution import EmpiricalDistribution
+from repro.ensembles.locate import find_slow_osts
+from repro.ensembles.modes import detect_modes
+from repro.iosys.machine import MachineConfig, MiB
+from repro.iosys.posix import O_CREAT, O_RDWR
+
+NTASKS = 64
+RECORDS = 16
+RECORD = MiB  # one full stripe: each record maps to exactly one OST
+SICK = 5
+
+
+def _workload(ctx):
+    path = "/scratch/r.dat"
+    if ctx.rank == 0 and ctx.iosys.lookup(path) is None:
+        ctx.iosys.set_stripe_count(path, ctx.machine.n_osts)
+        fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+        yield from ctx.comm.barrier()
+    else:
+        yield from ctx.comm.barrier()
+        fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+    yield from ctx.comm.barrier()
+    for i in range(RECORDS):
+        yield from ctx.io.pwrite(
+            fd, RECORD, (ctx.rank * RECORDS + i) * RECORD
+        )
+    yield from ctx.io.close(fd)
+    return None
+
+
+def _machine(slow: bool):
+    m = MachineConfig.franklin(
+        dirty_quota=0.0, n_osts=16, noise_sigma=0.08, tail_prob=0.0,
+        discipline_weights={4: 1.0},  # fair service: isolate the device effect
+        ost_slowdown={SICK: 6.0} if slow else {},
+    )
+    return m.with_overrides(fs_bw=2048 * MiB, fs_read_bw=2048 * MiB)
+
+
+def _run(slow: bool):
+    job = SimJob(_machine(slow), NTASKS, seed=2)
+    result = job.run(_workload)
+    layout = result.iosys.lookup("/scratch/r.dat").layout
+    writes = result.trace.writes()
+    # per-byte service times (like the localiser uses): queue position and
+    # share ramp-up cancel out, leaving the device effect
+    rates = writes.durations / writes.sizes
+    dist = EmpiricalDistribution(rates)
+    modes = detect_modes(dist, bandwidth=0.2, min_prominence=0.03)
+    suspects = find_slow_osts(result.trace, layout, threshold=2.0)
+    return modes, suspects
+
+
+def test_slow_ost_creates_mode_and_is_localised(run_once, benchmark):
+    def scenario():
+        return _run(slow=True), _run(slow=False)
+
+    (sick_modes, sick_suspects), (ok_modes, ok_suspects) = run_once(scenario)
+    benchmark.extra_info["sick_modes_ns_per_byte"] = [
+        round(m.location * 1e9, 1) for m in sick_modes
+    ]
+    benchmark.extra_info["healthy_modes_ns_per_byte"] = [
+        round(m.location * 1e9, 1) for m in ok_modes
+    ]
+    benchmark.extra_info["suspect"] = sick_suspects[0].ost
+    benchmark.extra_info["suspect_slowdown"] = round(
+        sick_suspects[0].slowdown, 1
+    )
+    assert len(sick_modes) >= 2, "fault must create a slow mode"
+    assert len(ok_modes) == 1, "healthy ensemble is unimodal"
+    assert sick_suspects[0].ost == SICK and sick_suspects[0].is_suspect
+    assert not any(s.is_suspect for s in ok_suspects)

@@ -1,0 +1,73 @@
+"""Raw performance of the simulation substrate itself.
+
+These are true micro-benchmarks (multiple rounds): event-loop throughput,
+channel service rate, and end-to-end simulated-ops throughput of the full
+client stack.  They track the scalability headroom that lets the
+paper-scale experiments (10,240 tasks) run in minutes.
+"""
+
+from repro.iosys.machine import MachineConfig, MiB
+from repro.iosys.posix import O_CREAT, O_RDWR, IoSystem
+from repro.mpi.runtime import World
+from repro.sim.engine import Engine
+from repro.sim.resources import SlotChannel
+from repro.sim.rng import RngStreams
+
+N_EVENTS = 20000
+
+
+def test_engine_timeout_throughput(benchmark):
+    def scenario():
+        eng = Engine()
+
+        def proc():
+            for _ in range(N_EVENTS // 10):
+                yield eng.timeout(0.001)
+
+        for _ in range(10):
+            eng.process(proc())
+        eng.run()
+        return eng.event_count
+
+    events = benchmark(scenario)
+    benchmark.extra_info["events"] = events
+
+
+def test_slot_channel_throughput(benchmark):
+    def scenario():
+        eng = Engine()
+        ch = SlotChannel(eng, bandwidth=1e9, slots=4)
+        for _ in range(5000):
+            ch.transfer(1e6)
+        eng.run()
+        return ch.bytes_transferred
+
+    benchmark(scenario)
+
+
+def test_full_stack_ops_per_second(benchmark):
+    """Simulated I/O ops through MPI + client + cache + tracing."""
+
+    def scenario():
+        world = World(nranks=64)
+        iosys = IoSystem(
+            world.engine,
+            MachineConfig.testbox(),
+            ntasks=64,
+            rng=RngStreams(0),
+        )
+
+        def fn(ctx):
+            px = iosys.posix_for(ctx.rank)
+            fd = yield from px.open(f"/f{ctx.rank}", O_CREAT | O_RDWR)
+            for i in range(32):
+                yield from px.pwrite(fd, 1 * MiB, i * MiB)
+            yield from px.close(fd)
+            return None
+
+        world.run(fn)
+        return world.engine.event_count
+
+    events = benchmark(scenario)
+    benchmark.extra_info["sim_ops"] = 64 * 34
+    benchmark.extra_info["engine_events"] = events

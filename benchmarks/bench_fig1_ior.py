@@ -1,0 +1,35 @@
+"""Figure 1 bench: IOR completion-time modes + run-to-run reproducibility.
+
+Regenerates: (a) trace-diagram stats, (b) aggregate-rate plateaus,
+(c) the harmonic mode table and the scratch-vs-scratch2 KS distance.
+Paper-scale reference (EXPERIMENTS.md): modes at ~8/16/32 s, rate
+~11.7 GB/s vs the paper's ~11.6 GB/s.
+"""
+
+from repro.experiments import fig1_ior_modes
+
+SCALE = "small"
+
+
+def test_fig1_ior_modes(run_once, benchmark):
+    out = run_once(fig1_ior_modes.run, SCALE)
+    benchmark.extra_info["mode_locations_s"] = [
+        round(loc, 2) for loc in out.series["mode_locations"]
+    ]
+    benchmark.extra_info["mode_weights"] = [
+        round(w, 3) for w in out.series["mode_weights"]
+    ]
+    benchmark.extra_info["fundamental_s"] = round(
+        out.summary["fundamental_s"], 2
+    )
+    benchmark.extra_info["T_fair_s"] = out.summary["T_fair_s"]
+    benchmark.extra_info["data_rate_MBps"] = round(
+        out.summary["data_rate_MBps"]
+    )
+    benchmark.extra_info["ks_between_runs"] = round(
+        out.summary["ks_between_runs"], 3
+    )
+    benchmark.extra_info["plateau_levels_MBps"] = [
+        round(x) for x in out.series["plateau_levels_MBps"]
+    ]
+    assert out.all_verdicts_hold(), out.verdicts

@@ -1,0 +1,27 @@
+"""Figure 2 bench: the Law-of-Large-Numbers IOR sweep (k = 1, 2, 4, 8).
+
+Regenerates the paper's rate series (11,610 -> 13,486 MB/s, +16%) and the
+narrowing/Gaussianisation of the t_k ensembles.
+"""
+
+from repro.experiments import fig2_lln
+
+SCALE = "small"
+
+
+def test_fig2_lln_sweep(run_once, benchmark):
+    out = run_once(fig2_lln.run, SCALE)
+    rows = out.series["rows"]
+    benchmark.extra_info["rate_MBps_by_k"] = {
+        int(r["k"]): round(r["rate_MBps"]) for r in rows
+    }
+    benchmark.extra_info["cv_by_k"] = {
+        int(r["k"]): round(r["cv"], 4) for r in rows
+    }
+    benchmark.extra_info["gaussianity_by_k"] = {
+        int(r["k"]): round(r["gaussianity"], 4) for r in rows
+    }
+    benchmark.extra_info["speedup_k8_vs_k1_pct"] = round(
+        out.summary["speedup_k8_vs_k1_pct"], 1
+    )
+    assert out.all_verdicts_hold(), out.verdicts

@@ -1,0 +1,28 @@
+"""Figure 4 bench: MADbench on (buggy) Franklin vs Jaguar.
+
+Regenerates the platform contrast: run times (paper 2200 s vs 275 s),
+similar write shapes, and Franklin's broad right read shoulder.
+"""
+
+from repro.experiments import fig4_madbench
+
+SCALE = "small"
+
+
+def test_fig4_franklin_vs_jaguar(run_once, benchmark):
+    out = run_once(fig4_madbench.run, SCALE)
+    benchmark.extra_info["franklin_s"] = round(out.summary["franklin_s"], 1)
+    benchmark.extra_info["jaguar_s"] = round(out.summary["jaguar_s"], 1)
+    benchmark.extra_info["ratio"] = round(
+        out.summary["franklin_over_jaguar"], 2
+    )
+    benchmark.extra_info["franklin_read_max_s"] = round(
+        out.summary["franklin_read_max"], 1
+    )
+    benchmark.extra_info["degraded_reads"] = int(
+        out.summary["franklin_degraded_reads"]
+    )
+    benchmark.extra_info["findings"] = [
+        f.code for f in out.series["findings"]
+    ]
+    assert out.all_verdicts_hold(), out.verdicts

@@ -1,0 +1,28 @@
+"""Figure 5 bench: the Lustre read-ahead bug before/after the patch.
+
+Regenerates: (a) the per-phase 90%-completion times of reads 4..8 (the
+progressive-deterioration curve), (b) the before/after read histograms'
+extremes, (c) the before/after run-time contrast (paper: 2200 -> 520 s,
+4.2x).
+"""
+
+from repro.experiments import fig5_patch
+
+SCALE = "small"
+
+
+def test_fig5_patch_before_after(run_once, benchmark):
+    out = run_once(fig5_patch.run, SCALE)
+    benchmark.extra_info["t90_per_read_phase_s"] = [
+        round(float(t), 1) for t in out.series["t90_per_phase"]
+    ]
+    benchmark.extra_info["before_s"] = round(out.summary["before_s"], 1)
+    benchmark.extra_info["after_s"] = round(out.summary["after_s"], 1)
+    benchmark.extra_info["speedup"] = round(out.summary["speedup"], 2)
+    benchmark.extra_info["read_max_before_s"] = round(
+        out.summary["read_max_before"], 1
+    )
+    benchmark.extra_info["read_max_after_s"] = round(
+        out.summary["read_max_after"], 1
+    )
+    assert out.all_verdicts_hold(), out.verdicts

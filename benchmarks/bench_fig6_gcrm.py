@@ -1,0 +1,34 @@
+"""Figure 6 bench: the GCRM baseline and its three optimizations.
+
+Regenerates the four-configuration series (paper: 310 / 190 / 150 / 75 s,
+sustained rate climbing from ~1 GB/s) plus the automated root-cause
+findings on the baseline.
+"""
+
+from repro.experiments import fig6_gcrm
+from repro.experiments.fig6_gcrm import CONFIG_LABELS
+
+SCALE = "small"
+
+
+def test_fig6_gcrm_optimizations(run_once, benchmark):
+    out = run_once(fig6_gcrm.run, SCALE)
+    benchmark.extra_info["runtime_s"] = {
+        k: round(out.summary[f"{k}_s"], 1) for k in CONFIG_LABELS
+    }
+    benchmark.extra_info["sustained_GBps"] = {
+        k: round(out.summary[f"{k}_GBps"], 2) for k in CONFIG_LABELS
+    }
+    benchmark.extra_info["overall_speedup"] = round(
+        out.summary["overall_speedup"], 2
+    )
+    benchmark.extra_info["baseline_median_rate_MBps"] = round(
+        out.summary["baseline_median_rate_MBps"], 3
+    )
+    benchmark.extra_info["fair_share_MBps"] = round(
+        out.summary["fair_share_MBps"], 2
+    )
+    benchmark.extra_info["findings"] = [
+        f.code for f in out.series["findings"]
+    ]
+    assert out.all_verdicts_hold(), out.verdicts

@@ -1,0 +1,20 @@
+"""Section V bench: the writer-concurrency saturation sweep.
+
+Regenerates the "as few as 80 tasks can saturate the I/O subsystem"
+observation: aggregate rate vs writer count, with the knee location.
+"""
+
+from repro.experiments import saturation
+
+SCALE = "small"
+
+
+def test_saturation_sweep(run_once, benchmark):
+    out = run_once(saturation.run, SCALE)
+    benchmark.extra_info["rate_GBps_by_tasks"] = {
+        int(r["tasks"]): round(r["aggregate_GBps"], 2)
+        for r in out.series["rows"]
+    }
+    benchmark.extra_info["knee_tasks"] = int(out.summary["knee_tasks"])
+    benchmark.extra_info["peak_GBps"] = round(out.summary["peak_GBps"], 2)
+    assert out.all_verdicts_hold(), out.verdicts

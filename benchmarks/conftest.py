@@ -1,0 +1,28 @@
+"""Benchmark harness conventions.
+
+Every paper figure has a ``bench_figN_*.py`` whose benchmark regenerates
+the figure's rows/series (at reduced 'small' scale -- identical code paths
+to the paper-scale drivers, see EXPERIMENTS.md for the paper-scale
+numbers).  The series are attached to the benchmark record via
+``extra_info`` and the shape verdicts are asserted, so
+``pytest benchmarks/ --benchmark-only`` is simultaneously a performance
+measurement and a reproduction check.
+
+Simulations are deterministic and expensive relative to micro-benchmarks,
+so benchmarks run with one round/one iteration via ``run_once``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the (expensive, deterministic) target exactly once."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The capture-once / analyse-offline workflow.
+
+Production reality: the machine that runs the 10,240-task job is not the
+machine where you do the analysis.  This example shows the full loop:
+
+1. capture: run the GCRM baseline under IPM-I/O in *profile* mode first
+   (O(1) memory -- the paper's Section VI point) to see the summary, then
+   in trace mode and persist the events to disk,
+2. ship: the .npz file is what travels (here: a temp directory),
+3. analyse: reload the trace cold -- no simulator, no app -- and run the
+   complete methodology: automatic phase segmentation (the capture has no
+   application labels), the one-call analysis, and pattern detection.
+
+    python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps import GcrmConfig, run_gcrm
+from repro.ensembles import analyze, format_analysis, segment_by_gaps, strip_labels
+from repro.ipm import detect_patterns, load_trace, save_trace
+from repro.iosys import MachineConfig, MiB
+
+
+def capture(workdir: Path) -> Path:
+    cfg = GcrmConfig(
+        ntasks=256,
+        stripe_count=2,
+        machine=MachineConfig.franklin(),
+        slabs_per_meta_txn=16,
+        meta_txn_cost=0.05,
+    )
+
+    print("== capture 1: profile mode (constant memory) ==")
+    from repro.apps.gcrm import _gcrm_rank
+    from repro.apps.harness import SimJob
+
+    job = SimJob(cfg.machine, cfg.writer_count, seed=0, ipm_mode="profile")
+    prof_result = job.run(_gcrm_rank, cfg)
+    profile = prof_result.collector.profile
+    hist = profile.histogram("pwrite")
+    print(f"   {profile.total_events()} events summarised in "
+          f"{profile.nbytes()} bytes of histograms")
+    print(f"   pwrite: n={hist.n} mean={hist.mean:.2f}s "
+          f"p90~{hist.quantile(0.9):.2f}s max={hist.max:.2f}s")
+
+    print("\n== capture 2: full trace, persisted ==")
+    result = run_gcrm(cfg, seed=0)
+    # a real capture has no application phase labels; strip ours
+    raw = strip_labels(result.trace)
+    path = workdir / "gcrm_baseline.npz"
+    save_trace(raw, path)
+    print(f"   {len(raw)} events -> {path.name} "
+          f"({path.stat().st_size // 1024} KB)")
+    return path
+
+
+def analyse(path: Path) -> None:
+    print("\n== offline analysis (no simulator, no application) ==")
+    trace = load_trace(path)
+    # recover barrier phases from the raw timeline
+    segmented = segment_by_gaps(trace, min_size=1 * MiB)
+    phases = segmented.writes().phase_names()
+    print(f"   recovered {len(phases)} I/O phases from the raw timeline")
+
+    patterns = detect_patterns(trace).summary()
+    print(f"   stream patterns: {patterns}")
+
+    report = analyze(segmented, stripe_size=1 * MiB)
+    print()
+    print(format_analysis(report))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = capture(Path(tmp))
+        analyse(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# setup.py kept alongside pyproject.toml so `pip install -e .` works in
+# offline environments whose setuptools predates PEP 660 editable wheels.
+setup()

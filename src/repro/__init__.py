@@ -1,0 +1,33 @@
+"""repro: a reproduction of "Parallel I/O Performance: From Events to
+Ensembles" (Uselton et al., IPDPS 2010).
+
+The package contains everything the paper's study needed, built from
+scratch in Python:
+
+- :mod:`repro.sim`        -- a discrete-event simulation kernel,
+- :mod:`repro.mpi`        -- a simulated MPI runtime (SPMD, collectives),
+- :mod:`repro.iosys`      -- a Lustre/Cray-XT parallel file-system model
+  (striping, OSTs, MDS, client page cache, extent locks, and the strided
+  read-ahead bug the paper discovered),
+- :mod:`repro.ipm`        -- the IPM-I/O tracing and profiling layer,
+- :mod:`repro.ensembles`  -- the statistical methodology: histograms,
+  modes, moments, order statistics, Law-of-Large-Numbers analysis,
+  progress curves, and an automated bottleneck-diagnosis engine,
+- :mod:`repro.apps`       -- IOR, MADbench, and the GCRM I/O kernel with
+  MPI-IO and HDF5/H5Part middleware,
+- :mod:`repro.experiments`-- drivers that regenerate every figure.
+
+Quickstart::
+
+    from repro.apps import IorConfig, run_ior
+    from repro.ensembles import EmpiricalDistribution, detect_modes
+
+    result = run_ior(IorConfig(ntasks=256))
+    dist = EmpiricalDistribution(result.trace.writes().durations)
+    for mode in detect_modes(dist):
+        print(f"mode at {mode.location:.1f}s (weight {mode.weight:.2f})")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "mpi", "iosys", "ipm", "ensembles", "apps", "experiments"]

@@ -1,0 +1,25 @@
+"""Workloads and middleware: IOR, MADbench, GCRM, MPI-IO, HDF5/H5Part."""
+
+from .gcrm import GcrmConfig, run_gcrm
+from .h5part import H5PartFile
+from .harness import AppResult, SimJob
+from .hdf5 import H5Dataset, H5File, align_up
+from .ior import IorConfig, run_ior
+from .madbench import MadbenchConfig, run_madbench
+from .mpiio import MpiFile
+
+__all__ = [
+    "GcrmConfig",
+    "run_gcrm",
+    "H5PartFile",
+    "AppResult",
+    "SimJob",
+    "H5Dataset",
+    "H5File",
+    "align_up",
+    "IorConfig",
+    "run_ior",
+    "MadbenchConfig",
+    "run_madbench",
+    "MpiFile",
+]

@@ -1,0 +1,107 @@
+"""H5Part veneer: "a simple data scheme and veneer API built on top of the
+HDF5 library" used by the GCRM I/O kernel.
+
+H5Part organises a particle/field file as timesteps, each holding named
+variables whose per-rank slabs are laid out contiguously.  The veneer adds
+nothing mechanistic beyond :mod:`repro.apps.hdf5`; it packages the
+step/variable bookkeeping the GCRM kernel uses and forwards the tuning
+knobs (alignment, metadata aggregation) downward, mirroring how the real
+optimizations were implemented "using HDF5 library calls".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..mpi.runtime import RankContext
+from .hdf5 import H5Dataset, H5File
+
+__all__ = ["H5PartFile"]
+
+
+class H5PartFile:
+    """Step-structured veneer over :class:`H5File`."""
+
+    def __init__(self, h5: H5File):
+        self._h5 = h5
+        self._step = -1
+
+    @classmethod
+    def open(
+        cls,
+        ctx: RankContext,
+        path: str,
+        stripe_count: Optional[int] = None,
+        alignment: Optional[int] = None,
+        metadata_aggregation: bool = False,
+        meta_txn_cost: float = 0.2,
+        slabs_per_meta_txn: int = 512,
+    ):
+        """Collective open (generator) -> H5PartFile."""
+        h5 = yield from H5File.create(
+            ctx,
+            path,
+            stripe_count=stripe_count,
+            alignment=alignment,
+            metadata_aggregation=metadata_aggregation,
+            meta_txn_cost=meta_txn_cost,
+            slabs_per_meta_txn=slabs_per_meta_txn,
+        )
+        return cls(h5)
+
+    @property
+    def h5(self) -> H5File:
+        return self._h5
+
+    def set_step(self, step: int):
+        """H5PartSetStep: starts a new timestep group (generator).  Costs
+        one metadata transaction on rank 0 (group creation)."""
+        self._step = step
+        if self._h5.ctx.rank == 0:
+            yield from self._h5._metadata_txns(1)
+        yield from self._h5.ctx.comm.barrier()
+        return None
+
+    def write_field(
+        self, name: str, slab_bytes: int, records_per_rank: int = 1
+    ):
+        """H5PartWriteDataFloat64 analogue (generator -> list of IoResult).
+
+        Creates (or reuses) the step's dataset, writes this rank's
+        ``records_per_rank`` record slabs back to back, then commits the
+        dataset's metadata -- the write/barrier/metadata rhythm of the
+        GCRM baseline trace.
+        """
+        if self._step < 0:
+            raise RuntimeError("call set_step before write_field")
+        ds: H5Dataset = yield from self._h5.create_dataset(
+            f"step{self._step}/{name}",
+            slab_bytes,
+            records_per_rank=records_per_rank,
+        )
+        results = []
+        for record in range(records_per_rank):
+            res = yield from self._h5.write_record(ds, record)
+            results.append(res)
+        yield from self._h5.finish_step(ds)
+        return results
+
+    def read_field(self, name: str, records_per_rank: int = 1):
+        """H5PartReadDataFloat64 analogue (generator -> list of IoResult):
+        each rank reads back its own record slabs of the current step."""
+        if self._step < 0:
+            raise RuntimeError("call set_step before read_field")
+        ds = self._h5._shared["datasets"].get(f"step{self._step}/{name}")
+        if ds is None:
+            raise KeyError(f"no dataset {name!r} in step {self._step}")
+        results = []
+        for record in range(records_per_rank):
+            res = yield from self._h5.read_record(ds, record)
+            results.append(res)
+        return results
+
+    def close(self):
+        """Generator: collective close (flushes aggregated metadata)."""
+        yield from self._h5.close()
+        return None

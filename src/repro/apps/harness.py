@@ -1,0 +1,109 @@
+"""Common scaffolding for running a simulated application under IPM-I/O.
+
+A :class:`SimJob` wires together one engine, one MPI world, one I/O
+substrate, and one IPM collector -- the moral equivalent of launching an
+``aprun`` job on a machine with the tracing library linked in.  Rank
+functions receive a :class:`~repro.mpi.runtime.RankContext` whose extras
+expose:
+
+- ``ctx.io``        the traced (IPM-wrapped) POSIX interface,
+- ``ctx.posix``     the raw POSIX interface (for overhead comparisons),
+- ``ctx.iosys``     the substrate (striping controls, counters),
+- ``ctx.collector`` the IPM collector (region labels, trace),
+- ``ctx.machine``   the machine config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..ipm.events import Trace
+from ..ipm.interceptor import IpmCollector, IpmIo
+from ..iosys.machine import MachineConfig
+from ..iosys.posix import IoSystem
+from ..mpi.comm import Interconnect
+from ..mpi.runtime import World
+from ..sim.engine import Engine
+from ..sim.rng import RngStreams
+
+__all__ = ["SimJob", "AppResult"]
+
+
+@dataclass
+class AppResult:
+    """Everything an experiment needs from one application run."""
+
+    trace: Trace
+    elapsed: float
+    ntasks: int
+    machine: MachineConfig
+    per_rank: List[Any]
+    iosys: IoSystem
+    collector: IpmCollector
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.trace.total_bytes
+
+
+class SimJob:
+    """One simulated job: machine + world + substrate + tracer."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        ntasks: int,
+        seed: int = 0,
+        ipm_mode: str = "trace",
+        ipm_overhead: float = 0.0,
+        interconnect: Optional[Interconnect] = None,
+        writeback_delay: float = 30.0,
+        placement: str = "packed",
+    ):
+        self.machine = machine
+        self.ntasks = int(ntasks)
+        self.seed = int(seed)
+        self.engine = Engine()
+        self.rng = RngStreams(seed)
+        self.world = World(
+            self.ntasks,
+            engine=self.engine,
+            interconnect=interconnect
+            or Interconnect(latency=5e-6, bandwidth=1.6e9),
+        )
+        self.iosys = IoSystem(
+            self.engine,
+            machine,
+            ntasks=self.ntasks,
+            rng=self.rng,
+            writeback_delay=writeback_delay,
+            placement=placement,
+        )
+        self.collector = IpmCollector(mode=ipm_mode, overhead=ipm_overhead)
+        self.world.set_extras_factory(self._extras)
+
+    def _extras(self, rank: int) -> Dict[str, Any]:
+        posix = self.iosys.posix_for(rank)
+        return {
+            "posix": posix,
+            "io": IpmIo.wrap(posix, self.collector),
+            "iosys": self.iosys,
+            "collector": self.collector,
+            "machine": self.machine,
+        }
+
+    def run(
+        self, rank_fn: Callable[..., Generator], *args: Any, **kwargs: Any
+    ) -> AppResult:
+        per_rank = self.world.run(rank_fn, *args, **kwargs)
+        return AppResult(
+            trace=self.collector.trace,
+            elapsed=self.world.elapsed,
+            ntasks=self.ntasks,
+            machine=self.machine,
+            per_rank=per_rank,
+            iosys=self.iosys,
+            collector=self.collector,
+        )

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+    python -m repro run-ior      [--ntasks N] [--block MB] [--transfer MB]
+                                 [--reps R] [--stripes S] [--machine NAME]
+                                 [--seed K] [--save TRACE] [--analyze]
+    python -m repro run-madbench [--ntasks N] [--matrix MB] [--machine NAME] ...
+    python -m repro run-gcrm     [--ntasks N] [--io-tasks N] [--align]
+                                 [--meta-agg] ...
+    python -m repro analyze      TRACE [--nranks N]
+    python -m repro experiments  [paper|small|tiny] [fig1 ...]
+
+``run-*`` commands simulate a workload, print the IPM report, and can
+persist the trace (``--save run.npz``) for later ``analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps.gcrm import GcrmConfig, run_gcrm
+from .apps.ior import IorConfig, run_ior
+from .apps.madbench import MadbenchConfig, run_madbench
+from .ensembles.analysis import analyze, format_analysis
+from .ipm.report import build_report, format_report
+from .ipm.storage import load_trace, save_trace
+from .iosys.machine import MachineConfig, MiB
+
+__all__ = ["main"]
+
+_MACHINES = {
+    "franklin": MachineConfig.franklin,
+    "franklin-patched": MachineConfig.franklin_patched,
+    "jaguar": MachineConfig.jaguar,
+    "testbox": MachineConfig.testbox,
+}
+
+
+def _machine(name: str) -> MachineConfig:
+    try:
+        return _MACHINES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {', '.join(_MACHINES)}"
+        )
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machine", default="franklin", help="machine preset")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", metavar="TRACE",
+                   help="persist the trace (.npz or .jsonl)")
+    p.add_argument("--analyze", action="store_true",
+                   help="print the full ensemble analysis")
+
+
+def _finish(result, ntasks: int, args) -> None:
+    print(format_report(build_report(result.trace, ntasks, result.elapsed)))
+    print(f"\nsimulated job time: {result.elapsed:.1f} s")
+    if args.analyze:
+        print()
+        print(format_analysis(analyze(result.trace, nranks=ntasks)))
+    if args.save:
+        save_trace(result.trace, args.save)
+        print(f"\ntrace saved to {args.save} ({len(result.trace)} events)")
+
+
+def _cmd_run_ior(args) -> int:
+    machine = _machine(args.machine)
+    cfg = IorConfig(
+        ntasks=args.ntasks,
+        block_size=args.block * MiB,
+        transfer_size=args.transfer * MiB,
+        repetitions=args.reps,
+        stripe_count=min(args.stripes, machine.n_osts),
+        access=args.access,
+        read_back=args.read_back,
+        machine=machine,
+        seed=args.seed,
+    )
+    result = run_ior(cfg)
+    _finish(result, cfg.ntasks, args)
+    print(f"IOR data rate: {result.meta['data_rate'] / MiB:.0f} MB/s "
+          f"(fair share {cfg.fair_share_rate / MiB:.1f} MB/s per task)")
+    return 0
+
+
+def _cmd_run_madbench(args) -> int:
+    machine = _machine(args.machine)
+    cfg = MadbenchConfig(
+        ntasks=args.ntasks,
+        n_matrices=args.matrices,
+        matrix_bytes=args.matrix * MiB - 517 * 1024,
+        stripe_count=min(args.stripes, machine.n_osts),
+        file_per_task=args.unique,
+        machine=machine,
+        seed=args.seed,
+    )
+    result = run_madbench(cfg)
+    _finish(result, cfg.ntasks, args)
+    print(f"degraded reads: {result.meta['degraded_reads']}")
+    return 0
+
+
+def _cmd_run_gcrm(args) -> int:
+    machine = _machine(args.machine)
+    cfg = GcrmConfig(
+        ntasks=args.ntasks,
+        io_tasks=args.io_tasks,
+        alignment=(1 * MiB if args.align else None),
+        metadata_aggregation=args.meta_agg,
+        stripe_count=min(args.stripes, machine.n_osts),
+        machine=machine,
+        seed=args.seed,
+    )
+    result = run_gcrm(cfg)
+    _finish(result, result.ntasks, args)
+    print(f"sustained write rate: "
+          f"{result.meta['sustained_rate'] / (1024 * MiB):.2f} GB/s")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    trace = load_trace(args.trace)
+    print(format_analysis(analyze(trace, nranks=args.nranks)))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments.__main__ import main as exp_main
+
+    return exp_main(args.args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run-ior", help="simulate the IOR benchmark")
+    p.add_argument("--ntasks", type=int, default=256)
+    p.add_argument("--block", type=int, default=128, help="MB per task")
+    p.add_argument("--transfer", type=int, default=128, help="MB per call")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--stripes", type=int, default=48)
+    p.add_argument("--access", choices=("sequential", "random"),
+                   default="sequential")
+    p.add_argument("--read-back", action="store_true")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_run_ior)
+
+    p = sub.add_parser("run-madbench", help="simulate the MADbench kernel")
+    p.add_argument("--ntasks", type=int, default=64)
+    p.add_argument("--matrices", type=int, default=8)
+    p.add_argument("--matrix", type=int, default=64, help="MB per matrix")
+    p.add_argument("--stripes", type=int, default=16)
+    p.add_argument("--unique", action="store_true",
+                   help="one file per task (UNIQUE mode)")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_run_madbench)
+
+    p = sub.add_parser("run-gcrm", help="simulate the GCRM I/O kernel")
+    p.add_argument("--ntasks", type=int, default=1024)
+    p.add_argument("--io-tasks", type=int, default=None)
+    p.add_argument("--align", action="store_true")
+    p.add_argument("--meta-agg", action="store_true")
+    p.add_argument("--stripes", type=int, default=48)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_run_gcrm)
+
+    p = sub.add_parser("analyze", help="analyse a saved trace")
+    p.add_argument("trace")
+    p.add_argument("--nranks", type=int, default=None)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("experiments", help="run the paper's figures")
+    p.add_argument("args", nargs="*")
+    p.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

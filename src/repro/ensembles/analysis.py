@@ -1,0 +1,186 @@
+"""One-call ensemble analysis: trace in, diagnosis document out.
+
+:func:`analyze` runs the complete methodology over a trace -- per-op
+ensembles with moments and modes, phase decomposition, aggregate-rate
+summary, access-pattern classification, and the automated findings -- and
+returns a structured :class:`AnalysisReport` that renders to a readable
+text document with :func:`format_analysis`.
+
+This is the "analyst's front door": the examples and experiment drivers
+compose the pieces by hand for exposition, while downstream users get the
+whole pipeline in one call::
+
+    from repro.ensembles import analyze, format_analysis
+    print(format_analysis(analyze(result.trace, nranks=1024)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..ipm.events import READ_OPS, WRITE_OPS, Trace
+from ..ipm.patterns import detect_patterns
+from .diagnose import Finding, diagnose
+from .distribution import EmpiricalDistribution, Moments
+from .modes import Mode, detect_modes, harmonics
+from .timeseries import RateCurve, aggregate_rate
+
+__all__ = ["OpEnsemble", "PhaseSummary", "AnalysisReport", "analyze",
+           "format_analysis"]
+
+MiB = 1024.0 * 1024.0
+
+
+@dataclass
+class OpEnsemble:
+    """One operation class's ensemble view."""
+
+    label: str
+    n: int
+    bytes: int
+    moments: Moments
+    modes: List[Mode]
+    harmonic: bool
+    tail_weight: float
+
+
+@dataclass
+class PhaseSummary:
+    phase: str
+    n: int
+    wall: float
+    mean: float
+    worst: float
+
+
+@dataclass
+class AnalysisReport:
+    ntasks: int
+    wallclock: float
+    total_bytes: int
+    n_events: int
+    ops: List[OpEnsemble] = field(default_factory=list)
+    phases: List[PhaseSummary] = field(default_factory=list)
+    sustained_rate: float = 0.0
+    peak_rate: float = 0.0
+    patterns: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+
+def _op_ensemble(label: str, sub: Trace) -> Optional[OpEnsemble]:
+    d = sub.durations
+    d = d[d > 0]
+    if len(d) < 4:
+        return None
+    dist = EmpiricalDistribution(d)
+    modes = detect_modes(dist, bandwidth=0.15)
+    structure = harmonics(modes)
+    return OpEnsemble(
+        label=label,
+        n=len(sub),
+        bytes=sub.total_bytes,
+        moments=dist.moments(),
+        modes=modes,
+        harmonic=bool(structure and structure.is_harmonic),
+        tail_weight=float(dist.tail_weight(0.9)),
+    )
+
+
+def analyze(
+    trace: Trace,
+    nranks: Optional[int] = None,
+    fair_share_rate: Optional[float] = None,
+    stripe_size: Optional[int] = None,
+) -> AnalysisReport:
+    """Run the complete ensemble methodology over a trace."""
+    nranks = nranks if nranks is not None else (
+        int(trace.ranks.max()) + 1 if len(trace) else 0
+    )
+    report = AnalysisReport(
+        ntasks=nranks,
+        wallclock=trace.span,
+        total_bytes=trace.total_bytes,
+        n_events=len(trace),
+    )
+    for label, ops in (("write", WRITE_OPS), ("read", READ_OPS)):
+        ens = _op_ensemble(label, trace.filter(ops=ops))
+        if ens:
+            report.ops.append(ens)
+
+    for phase in trace.phase_names():
+        if not phase:
+            continue
+        sub = trace.filter(phase=phase)
+        d = sub.durations
+        report.phases.append(
+            PhaseSummary(
+                phase=phase,
+                n=len(sub),
+                wall=sub.span,
+                mean=float(d.mean()) if len(d) else 0.0,
+                worst=float(d.max()) if len(d) else 0.0,
+            )
+        )
+
+    curve: RateCurve = aggregate_rate(trace)
+    report.sustained_rate = curve.sustained()
+    report.peak_rate = curve.peak
+    report.patterns = detect_patterns(trace).summary()
+    report.findings = diagnose(
+        trace,
+        nranks=nranks,
+        fair_share_rate=fair_share_rate,
+        stripe_size=stripe_size,
+    )
+    return report
+
+
+def format_analysis(report: AnalysisReport) -> str:
+    """Render the report as a text document."""
+    lines = [
+        "=== I/O ensemble analysis ===",
+        f"tasks {report.ntasks} | wallclock {report.wallclock:.1f} s | "
+        f"{report.total_bytes / MiB:.0f} MB in {report.n_events} events",
+        f"aggregate rate: sustained {report.sustained_rate / MiB:.1f} MB/s, "
+        f"peak {report.peak_rate / MiB:.1f} MB/s",
+        "",
+        "-- per-op ensembles --",
+    ]
+    for op in report.ops:
+        m = op.moments
+        lines.append(
+            f"{op.label}: n={op.n} bytes={op.bytes / MiB:.0f}MB "
+            f"mean={m.mean:.2f}s cv={m.cv:.2f} worst={m.max:.2f}s "
+            f"tail(max/p90)={op.tail_weight:.1f}"
+        )
+        for i, mode in enumerate(op.modes, 1):
+            lines.append(
+                f"   mode {i}: {mode.location:.2f} s (weight {mode.weight:.2f})"
+            )
+        if op.harmonic:
+            lines.append("   -> harmonic T/k structure (node serialisation)")
+    if report.phases:
+        lines.append("")
+        lines.append("-- phases --")
+        for p in report.phases:
+            lines.append(
+                f"{p.phase:>14s}: n={p.n:<6d} wall={p.wall:8.2f}s "
+                f"mean={p.mean:7.2f}s worst={p.worst:8.2f}s"
+            )
+    if report.patterns:
+        lines.append("")
+        lines.append(
+            "-- access patterns -- "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(report.patterns.items()))
+        )
+    lines.append("")
+    lines.append("-- findings --")
+    if not report.findings:
+        lines.append("(none)")
+    for f in report.findings:
+        lines.append(str(f))
+        lines.append(f"   -> {f.recommendation}")
+    return "\n".join(lines)

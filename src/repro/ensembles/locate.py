@@ -1,0 +1,99 @@
+"""Localising a misbehaving storage target from trace ensembles.
+
+An extension of the paper's methodology to a classic operations problem:
+one OST in the pool is sick (degraded RAID rebuild, failing disk) and
+every I/O that touches it lands in a slow mode.  The trace alone cannot
+name the device -- but the *file layout* is known to the analyst (it is
+how the file was created), so each event's byte extent maps to the OSTs
+that served it.  Grouping the event ensemble by serving OST turns the
+anonymous slow mode into a device indictment.
+
+This is "from events to ensembles" applied per device: the per-OST
+ensembles of a healthy pool are statistically indistinguishable; a sick
+OST's ensemble separates cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ipm.events import Trace
+from ..iosys.striping import StripeLayout
+from .distribution import EmpiricalDistribution
+
+__all__ = ["OstSuspect", "ost_ensembles", "find_slow_osts"]
+
+
+@dataclass(frozen=True)
+class OstSuspect:
+    """One OST's verdict from the scan."""
+
+    ost: int
+    n_events: int
+    median: float
+    pool_median: float
+    slowdown: float  # median / pool-of-others median
+    is_suspect: bool
+
+
+def ost_ensembles(
+    trace: Trace, layout: StripeLayout, ops: Tuple[str, ...] = ("write", "pwrite")
+) -> Dict[int, EmpiricalDistribution]:
+    """Group per-event durations by the OSTs that served each event.
+
+    Events are *normalised to seconds-per-byte* before grouping so mixed
+    transfer sizes share an axis, then attributed to every OST their
+    extent touches (an event that straddles a sick OST is slowed even if
+    most of its bytes went elsewhere -- exactly why attribution must be
+    to all touched OSTs, not the majority one).
+    """
+    sub = trace.filter(ops=list(ops))
+    buckets: Dict[int, List[float]] = {}
+    for offset, size, duration in zip(
+        sub.offsets, sub.sizes, sub.durations
+    ):
+        if size <= 0 or duration <= 0:
+            continue
+        per_byte = duration / size
+        for ost in layout.bytes_per_ost(int(offset), int(size)):
+            buckets.setdefault(ost, []).append(per_byte)
+    return {
+        ost: EmpiricalDistribution(vals)
+        for ost, vals in buckets.items()
+        if len(vals) >= 3
+    }
+
+
+def find_slow_osts(
+    trace: Trace,
+    layout: StripeLayout,
+    ops: Tuple[str, ...] = ("write", "pwrite"),
+    threshold: float = 2.0,
+) -> List[OstSuspect]:
+    """Scan for OSTs whose ensemble is shifted ``threshold``x slower than
+    the rest of the pool.  Returns every OST's verdict, suspects first.
+    """
+    ensembles = ost_ensembles(trace, layout, ops)
+    if not ensembles:
+        return []
+    medians = {ost: d.median for ost, d in ensembles.items()}
+    out: List[OstSuspect] = []
+    for ost, dist in ensembles.items():
+        others = [m for o, m in medians.items() if o != ost]
+        baseline = float(np.median(others)) if others else medians[ost]
+        slowdown = medians[ost] / baseline if baseline > 0 else 1.0
+        out.append(
+            OstSuspect(
+                ost=ost,
+                n_events=dist.n,
+                median=medians[ost],
+                pool_median=baseline,
+                slowdown=float(slowdown),
+                is_suspect=bool(slowdown >= threshold),
+            )
+        )
+    out.sort(key=lambda s: s.slowdown, reverse=True)
+    return out

@@ -1,0 +1,173 @@
+"""ASCII renderings of the paper's plot types.
+
+No plotting stack is assumed (the library runs on batch systems); these
+renderers draw the figures' content as text:
+
+- :func:`plot_histogram` -- vertical-bar histogram with linear or log
+  count axis (Figures 1c, 4c/f, 5b, 6c/f/i/l),
+- :func:`plot_curve`     -- a sampled (x, y) line as a scatter field
+  (Figures 1b, 4b/e, 6b/e/h/k rate curves),
+- :func:`plot_cdfs`      -- overlaid cumulative progress curves with one
+  glyph per series (Figure 5a).
+
+Everything returns a string; experiment ``main()``s and examples embed
+the output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .histogram import HistogramResult
+from .progress import ProgressCurve
+from .timeseries import RateCurve
+
+__all__ = ["plot_histogram", "plot_curve", "plot_cdfs", "plot_rate_curve"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _format_axis_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    return f"{v:.2f}"
+
+
+def plot_histogram(
+    hist: HistogramResult,
+    width: int = 70,
+    height: int = 12,
+    log_counts: bool = False,
+    title: str = "",
+    xlabel: str = "seconds",
+) -> str:
+    """Render a histogram as vertical bars.
+
+    ``log_counts`` mimics the paper's log-log presentation so "the
+    slowest modes stand out"; bins are resampled onto ``width`` columns
+    (max count per column so narrow spikes survive)."""
+    trimmed = hist.nonempty()
+    counts = trimmed.counts
+    if counts.sum() == 0:
+        return f"{title}\n(empty histogram)"
+    # resample bins onto columns
+    n_bins = len(counts)
+    cols = min(width, n_bins) if n_bins else width
+    col_counts = np.zeros(cols)
+    for i, c in enumerate(counts):
+        col_counts[i * cols // n_bins] = max(
+            col_counts[i * cols // n_bins], c
+        )
+    if log_counts:
+        with np.errstate(divide="ignore"):
+            heights = np.where(
+                col_counts > 0, np.log10(np.maximum(col_counts, 1e-12)) + 1.0, 0.0
+            )
+    else:
+        heights = col_counts
+    peak = heights.max()
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        rows.append(
+            "".join(
+                "#" if h >= threshold and h > 0 else " " for h in heights
+            )
+        )
+    lo = _format_axis_value(float(trimmed.edges[0]))
+    hi = _format_axis_value(float(trimmed.edges[-1]))
+    axis = f"{lo} {'-' * max(cols - len(lo) - len(hi) - 2, 1)} {hi}"
+    out = []
+    if title:
+        out.append(title)
+    out.extend(rows)
+    out.append(axis)
+    scale = "log10(count)" if log_counts else "count"
+    out.append(f"[x: {xlabel}; y: {scale}, peak {int(col_counts.max())}]")
+    return "\n".join(out)
+
+
+def plot_curve(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 70,
+    height: int = 14,
+    title: str = "",
+    xlabel: str = "seconds",
+    ylabel: str = "",
+) -> str:
+    """Render a sampled curve (e.g. an aggregate-rate series)."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if len(x_arr) == 0 or len(x_arr) != len(y_arr):
+        return f"{title}\n(no data)"
+    x_lo, x_hi = float(x_arr.min()), float(x_arr.max())
+    y_lo, y_hi = 0.0, float(y_arr.max())
+    if x_hi <= x_lo or y_hi <= y_lo:
+        return f"{title}\n(degenerate data)"
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x_arr, y_arr):
+        c = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        r = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - r][c] = "*"
+    out = []
+    if title:
+        out.append(title)
+    ymax = _format_axis_value(y_hi)
+    out.append(f"{ymax} {ylabel}".rstrip())
+    out.extend("".join(row) for row in grid)
+    lo = _format_axis_value(x_lo)
+    hi = _format_axis_value(x_hi)
+    out.append(f"{lo} {'-' * max(width - len(lo) - len(hi) - 2, 1)} {hi}")
+    out.append(f"[x: {xlabel}]")
+    return "\n".join(out)
+
+
+def plot_rate_curve(curve: RateCurve, unit: float = 1024.0**2,
+                    unit_name: str = "MB/s", **kw) -> str:
+    """Convenience: render a :class:`RateCurve` (Figure 1b style)."""
+    return plot_curve(
+        curve.centers, curve.rate / unit, ylabel=unit_name, **kw
+    )
+
+
+def plot_cdfs(
+    curves: Sequence[ProgressCurve],
+    width: int = 70,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Overlay cumulative progress curves, one glyph per phase
+    (Figure 5a: 'the fraction of I/Os completed versus time')."""
+    curves = [c for c in curves if len(c.times)]
+    if not curves:
+        return f"{title}\n(no curves)"
+    t_hi = max(float(c.times[-1]) for c in curves)
+    if t_hi <= 0:
+        return f"{title}\n(degenerate data)"
+    grid = [[" "] * width for _ in range(height)]
+    for k, curve in enumerate(curves):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        for col in range(width):
+            t = t_hi * col / (width - 1)
+            frac = curve.fraction_at(t)
+            row = int(frac * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = glyph if cell == " " else cell
+    out = []
+    if title:
+        out.append(title)
+    out.append("1.0")
+    out.extend("".join(row) for row in grid)
+    out.append(f"0.0 {'-' * max(width - 12, 1)} {t_hi:.1f}s")
+    legend = "  ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]}={c.phase}" for k, c in enumerate(curves)
+    )
+    out.append(f"[{legend}]")
+    return "\n".join(out)

@@ -1,0 +1,118 @@
+"""Aggregate instantaneous data-rate curves (Figures 1b, 4b, 6b).
+
+Each traced event moves ``size`` bytes over ``[t_start, t_end)``; assuming
+a uniform rate within the event (all the tracer can know), the aggregate
+instantaneous rate at time t is the sum of ``size/duration`` over events
+covering t.  The implementation distributes each event's bytes over the
+sample grid proportionally to overlap, so the curve integrates back to the
+total bytes moved (a property the tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ipm.events import Trace
+
+__all__ = ["RateCurve", "aggregate_rate", "plateaus"]
+
+
+@dataclass
+class RateCurve:
+    """Sampled aggregate rate: rate[i] spans [t[i], t[i+1])."""
+
+    t: np.ndarray  # bin edges, length n+1
+    rate: np.ndarray  # bytes/s per bin, length n
+
+    @property
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.t[:-1] + self.t[1:])
+
+    @property
+    def total_bytes(self) -> float:
+        return float(np.sum(self.rate * np.diff(self.t)))
+
+    @property
+    def peak(self) -> float:
+        return float(self.rate.max()) if len(self.rate) else 0.0
+
+    def sustained(self) -> float:
+        """Total bytes / total span: the paper's 'sustained' rate."""
+        span = self.t[-1] - self.t[0]
+        return self.total_bytes / span if span > 0 else 0.0
+
+
+def aggregate_rate(
+    trace: Trace,
+    n_bins: int = 400,
+    t_range: Optional[Tuple[float, float]] = None,
+) -> RateCurve:
+    """Compute the aggregate data-rate curve from a trace's data ops."""
+    data = trace.data_ops()
+    if len(data) == 0:
+        edges = np.array([0.0, 1.0])
+        return RateCurve(t=edges, rate=np.zeros(1))
+    starts = data.starts
+    ends = data.ends
+    sizes = data.sizes.astype(float)
+    lo, hi = t_range if t_range is not None else (starts.min(), ends.max())
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi, n_bins + 1)
+    width = edges[1] - edges[0]
+    rate = np.zeros(n_bins)
+
+    # Distribute each event's bytes over the bins it overlaps.  Vectorised
+    # over events with a loop over each event's bin span; I/O phases are
+    # short relative to the run so spans are small on average.
+    first_bin = np.clip(((starts - lo) / width).astype(int), 0, n_bins - 1)
+    last_bin = np.clip(((ends - lo) / width).astype(int), 0, n_bins - 1)
+    durations = np.maximum(ends - starts, 1e-12)
+    byte_rate = sizes / durations
+    for i in range(len(sizes)):
+        b0, b1 = first_bin[i], last_bin[i]
+        if b0 == b1:
+            rate[b0] += sizes[i] / width
+            continue
+        # first partial bin
+        head = edges[b0 + 1] - starts[i]
+        rate[b0] += byte_rate[i] * head / width
+        # full bins
+        if b1 - b0 > 1:
+            rate[b0 + 1 : b1] += byte_rate[i]
+        # last partial bin
+        tail = ends[i] - edges[b1]
+        rate[b1] += byte_rate[i] * tail / width
+    return RateCurve(t=edges, rate=rate)
+
+
+def plateaus(
+    curve: RateCurve, n_levels: int = 3, min_fraction: float = 0.05
+) -> np.ndarray:
+    """Find the dominant rate levels of a curve (Figure 1b's plateaus).
+
+    Clusters the positive samples on a log scale into up to ``n_levels``
+    levels by histogram peaks; levels carrying less than ``min_fraction``
+    of the time are dropped.  Returns levels in descending order.
+    """
+    r = curve.rate[curve.rate > 0]
+    if len(r) == 0:
+        return np.array([])
+    logs = np.log10(r)
+    counts, edges = np.histogram(logs, bins=24)
+    total = counts.sum()
+    levels = []
+    # local maxima of the histogram
+    for i in range(len(counts)):
+        left = counts[i - 1] if i > 0 else -1
+        right = counts[i + 1] if i < len(counts) - 1 else -1
+        if counts[i] >= left and counts[i] >= right and counts[i] > 0:
+            if counts[i] / total >= min_fraction:
+                center = 0.5 * (edges[i] + edges[i + 1])
+                levels.append((counts[i], 10.0**center))
+    levels.sort(reverse=True)
+    top = [lvl for _c, lvl in levels[:n_levels]]
+    return np.array(sorted(top, reverse=True))

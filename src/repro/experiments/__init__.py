@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per paper figure (plus inline claims).
+
+Every module exposes ``run(scale=...) -> ExperimentResult`` and
+``main(scale=...) -> str`` (the printable rows/series).  Run them all:
+
+    python -m repro.experiments            # paper scale
+    python -m repro.experiments small      # reduced scale
+"""
+
+from . import fig1_ior_modes, fig2_lln, fig4_madbench, fig5_patch, fig6_gcrm, saturation
+from .runner import SCALES, ExperimentResult, format_table
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_ior_modes,
+    "fig2": fig2_lln,
+    "fig4": fig4_madbench,
+    "fig5": fig5_patch,
+    "fig6": fig6_gcrm,
+    "saturation": saturation,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "SCALES",
+    "ExperimentResult",
+    "format_table",
+    "fig1_ior_modes",
+    "fig2_lln",
+    "fig4_madbench",
+    "fig5_patch",
+    "fig6_gcrm",
+    "saturation",
+]

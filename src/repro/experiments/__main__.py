@@ -1,0 +1,35 @@
+"""Run every experiment and print the paper's rows/series.
+
+Usage::
+
+    python -m repro.experiments [paper|small|tiny] [fig1 fig2 ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv) -> int:
+    scale = "paper"
+    wanted = []
+    for arg in argv:
+        if arg in ("paper", "small", "tiny"):
+            scale = arg
+        elif arg in ALL_EXPERIMENTS:
+            wanted.append(arg)
+        else:
+            print(f"unknown argument {arg!r}; experiments: "
+                  f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+    for name in wanted or list(ALL_EXPERIMENTS):
+        module = ALL_EXPERIMENTS[name]
+        print(module.main(scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

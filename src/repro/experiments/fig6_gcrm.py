@@ -1,0 +1,187 @@
+"""Figure 6: GCRM at 10,240 tasks -- baseline and three optimizations.
+
+Each row of the figure (trace graph, aggregate write rate, normalised
+histogram) corresponds to one configuration:
+
+- (a-c)  baseline: 10,240 writers, packed records, per-phase metadata.
+         Paper: 310 s total, sustained ~1 GB/s, per-task rate peaks well
+         below the ~1.6 MB/s fair share with a bulge toward 0.5 MB/s.
+- (d-f)  collective buffering stage two: 80 I/O tasks x 128 writes each.
+         Paper: 190 s (1.6x), per-task peak ~100 MB/s (~8 GB/s aggregate).
+- (g-i)  writes padded/aligned to 1 MB.  Paper: 150 s, the 0.1-1 MB/s
+         bulge disappears; run time now dominated by rank-0 metadata.
+- (j-l)  metadata aggregated into ~1 MB writes at close.  Paper: 75 s,
+         > 4x over baseline.
+
+The histograms are rate-normalised (sec/MB) with separate data (1.6 MB
+records) and metadata (<3 KB) distributions, exactly as in the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..apps.gcrm import GcrmConfig, run_gcrm
+from ..apps.harness import AppResult
+from ..ensembles.diagnose import diagnose
+from ..ensembles.histogram import rate_histogram
+from ..ensembles.timeseries import aggregate_rate
+from ..ensembles.tracevis import trace_diagram
+from ..iosys.machine import MachineConfig, MiB
+from .runner import ExperimentResult, format_table
+
+__all__ = ["configure", "run", "main", "CONFIG_LABELS"]
+
+EXPERIMENT = "fig6_gcrm"
+CONFIG_LABELS = ("baseline", "cb", "cb+align", "cb+align+meta")
+
+
+def configure(
+    scale: str = "paper", config: str = "baseline"
+) -> GcrmConfig:
+    if scale == "paper":
+        ntasks, io_tasks = 10240, 80
+    elif scale == "small":
+        ntasks, io_tasks = 1024, 16
+    else:
+        ntasks, io_tasks = 128, 8
+    # reduced scales keep the paper-scale ratios (clients per OST, per-
+    # node share) by shrinking the file's stripe width with the job
+    stripe = max(2, round(48 * ntasks / 10240))
+    base: Dict = dict(
+        ntasks=ntasks,
+        machine=MachineConfig.franklin(),
+        stripe_count=stripe,
+        # keep the metadata:data work ratio constant across scales
+        slabs_per_meta_txn=max(8, round(512 * ntasks / 10240)),
+    )
+    if config == "baseline":
+        pass
+    elif config == "cb":
+        base.update(io_tasks=io_tasks)
+    elif config == "cb+align":
+        base.update(io_tasks=io_tasks, alignment=1 * MiB)
+    elif config == "cb+align+meta":
+        base.update(
+            io_tasks=io_tasks, alignment=1 * MiB, metadata_aggregation=True
+        )
+    else:
+        raise ValueError(config)
+    return GcrmConfig(**base)
+
+
+def _panel(res: AppResult, cfg: GcrmConfig) -> Dict:
+    data = res.trace.writes().filter(min_size=cfg.record_bytes // 2)
+    meta = res.trace.data_ops().filter(max_size=3 * 1024)
+    rates = (
+        data.sizes.astype(float) / np.maximum(data.durations, 1e-12)
+        if len(data)
+        else np.array([])
+    )
+    return {
+        "trace_diagram": trace_diagram(res.trace),
+        "rate_curve": aggregate_rate(res.trace, n_bins=300),
+        "data_hist_sec_per_mb": rate_histogram(data.sizes, data.durations),
+        "meta_hist_sec_per_mb": rate_histogram(meta.sizes, meta.durations)
+        if len(meta)
+        else None,
+        "per_task_rates": rates,
+        "elapsed": res.elapsed,
+        "sustained": res.meta["sustained_rate"],
+        "meta_event_count": len(meta),
+    }
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    panels: Dict[str, Dict] = {}
+    results: Dict[str, AppResult] = {}
+    for label in CONFIG_LABELS:
+        cfg = configure(scale, label)
+        res = run_gcrm(cfg, seed=seed)
+        results[label] = res
+        panels[label] = _panel(res, cfg)
+
+    base_cfg = configure(scale, "baseline")
+    fair = base_cfg.fair_share_rate
+    elapsed = {k: panels[k]["elapsed"] for k in CONFIG_LABELS}
+
+    findings = diagnose(
+        results["baseline"].trace,
+        nranks=results["baseline"].ntasks,
+        fair_share_rate=fair * base_cfg.records_multiplier,
+        stripe_size=base_cfg.machine.stripe_size,
+    )
+    codes = {f.code for f in findings}
+
+    base_rates = panels["baseline"]["per_task_rates"]
+    cb_rates = panels["cb"]["per_task_rates"]
+
+    out = ExperimentResult(experiment=EXPERIMENT, scale=scale)
+    out.summary = {
+        **{f"{k}_s": elapsed[k] for k in CONFIG_LABELS},
+        **{
+            f"{k}_GBps": panels[k]["sustained"] / (1024 * MiB)
+            for k in CONFIG_LABELS
+        },
+        "overall_speedup": elapsed["baseline"] / elapsed["cb+align+meta"],
+        "fair_share_MBps": fair / MiB,
+        "baseline_median_rate_MBps": float(np.median(base_rates)) / MiB
+        if len(base_rates)
+        else 0.0,
+        "cb_median_rate_MBps": float(np.median(cb_rates)) / MiB
+        if len(cb_rates)
+        else 0.0,
+    }
+    out.series = {"panels": panels, "findings": findings}
+    ordered = [elapsed[k] for k in CONFIG_LABELS]
+    out.verdicts = {
+        # every optimization helps, in the paper's order
+        "monotone_improvement": all(
+            ordered[i + 1] < ordered[i] for i in range(len(ordered) - 1)
+        ),
+        # >= 3.5x total (paper: >4x)
+        "big_overall_speedup": out.summary["overall_speedup"] > 3.5,
+        # baseline per-task rates below fair share
+        "baseline_below_fair_share": out.summary[
+            "baseline_median_rate_MBps"
+        ]
+        < 0.9 * fair / MiB * base_cfg.records_multiplier,
+        # CB raises per-task rates by orders of magnitude
+        "cb_rate_jump": out.summary["cb_median_rate_MBps"]
+        > 10 * out.summary["baseline_median_rate_MBps"],
+        # metadata aggregation removes the per-phase tiny transfers
+        "meta_events_removed": panels["cb+align+meta"]["meta_event_count"]
+        < panels["cb+align"]["meta_event_count"] / 2,
+        # the diagnosis engine flags the actual root causes on the baseline
+        "diagnosed_rank0_serialization": "rank0-serialization" in codes,
+        "diagnosed_unaligned": "unaligned-io" in codes,
+    }
+    return out
+
+
+def main(scale: str = "paper") -> str:
+    out = run(scale)
+    lines = [f"== Figure 6 (GCRM optimizations), scale={scale} =="]
+    rows = [
+        {
+            "config": k,
+            "runtime_s": out.summary[f"{k}_s"],
+            "sustained_GBps": out.summary[f"{k}_GBps"],
+        }
+        for k in CONFIG_LABELS
+    ]
+    lines.append(format_table("configurations", rows))
+    lines.append(format_table("summary", [dict(out.summary)]))
+    lines.append(format_table("verdicts", [dict(out.verdicts)]))
+    lines.append("automated findings on the baseline:")
+    for f in out.series["findings"]:
+        lines.append(f"  {f}")
+    return "\n\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    print(main(sys.argv[1] if len(sys.argv) > 1 else "paper"))

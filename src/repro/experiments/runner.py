@@ -1,0 +1,80 @@
+"""Experiment / run vocabulary and result tables.
+
+Section III: "we refer to a particular choice of test parameters as an
+*experiment* and a specific instance of running that experiment simply as
+a *run*."  Each ``figN_*`` module defines one experiment per figure panel
+group, exposes ``run(scale=...)`` returning an :class:`ExperimentResult`,
+and a ``main()`` that prints the same rows/series the paper reports.
+
+Scales: every experiment runs at the paper's full parameters by default
+(``scale='paper'``); ``scale='small'`` shrinks task counts and transfer
+sizes for tests and pytest-benchmarks while exercising identical code
+paths.  EXPERIMENTS.md records the full-scale numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "SCALES"]
+
+SCALES = ("paper", "small", "tiny")
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's reproduced content.
+
+    ``series`` holds the figure's plottable data (named columns);
+    ``summary`` holds the headline scalars compared against the paper in
+    EXPERIMENTS.md; ``verdicts`` are boolean shape checks (who wins, are
+    the modes harmonic, does the trend hold) that the integration tests
+    assert.
+    """
+
+    experiment: str
+    scale: str
+    summary: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, Any] = field(default_factory=dict)
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def all_verdicts_hold(self) -> bool:
+        return all(self.verdicts.values())
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in rows)) for c in cols
+    }
+    lines = [title]
+    lines.append("  ".join(c.ljust(widths[c]) for c in cols))
+    lines.append("  ".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(
+            "  ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)

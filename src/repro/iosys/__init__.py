@@ -1,0 +1,38 @@
+"""Simulated Lustre/Cray-XT parallel I/O substrate."""
+
+from .cache import PageCache
+from .client import FsArbiter, IoResult, LustreClient
+from .locks import ExtentLockTracker
+from .machine import GiB, KiB, MachineConfig, MiB
+from .mds import MetadataServer
+from .ost import OstPool
+from .posix import O_CREAT, O_RDONLY, O_RDWR, O_SYNC, O_WRONLY, IoSystem, PosixIo, SimFile
+from .readahead import ReadAheadEngine, ReadPlan, StreamState
+from .striping import Extent, StripeLayout
+
+__all__ = [
+    "PageCache",
+    "FsArbiter",
+    "IoResult",
+    "LustreClient",
+    "ExtentLockTracker",
+    "GiB",
+    "KiB",
+    "MachineConfig",
+    "MiB",
+    "MetadataServer",
+    "OstPool",
+    "O_CREAT",
+    "O_SYNC",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_WRONLY",
+    "IoSystem",
+    "PosixIo",
+    "SimFile",
+    "ReadAheadEngine",
+    "ReadPlan",
+    "StreamState",
+    "Extent",
+    "StripeLayout",
+]

@@ -1,0 +1,329 @@
+"""Per-node Lustre client and the file-system bandwidth arbiter.
+
+Bandwidth model (quasi-static fair share, recomputed per operation):
+
+- Each OST sustains ``fs_bw / n_osts``; a *file* striped over
+  ``stripe_count`` OSTs can move at most ``stripe_count * ost_rate`` in
+  aggregate -- shared-file bandwidth depends on striping, and a handful of
+  well-placed writers saturate the system (Section V: "as few as 80 tasks
+  can saturate the I/O subsystem").
+- That file bandwidth is shared equally among the *nodes* actively doing
+  I/O to the file, capped by the node's client bandwidth and a per-task
+  RPC-pipeline ceiling.
+
+Node service discipline (the harmonic-mode mechanism of Figure 1c):
+
+- Each node has an I/O *token semaphore*.  At the start of an I/O burst
+  (node idle -> active) the client draws the token count from
+  ``discipline_weights``: with one token, one task's operation runs at the
+  full node share while its siblings wait, completing the node's k-th task
+  at k*T/4 -- the R, R/4, R/2 peaks ("one task on the node (or two) took
+  all the available I/O resources until it was done").
+
+Write path: absorb into the page cache at memory speed up to the dirty
+quota (Figure 1b's initial plateau), then throttle chunk-by-chunk through
+the node channel; absorbed pages are flushed by a background process after
+the writeback delay, which is what keeps memory pressure high during
+MADbench's interleaved phase.  Read path: consult the read-ahead engine;
+a widened strided window under pressure degrades to page-granular RPCs
+(the Lustre bug of Section IV).
+
+Extent-lock and read-modify-write penalties scale *quadratically* with the
+number of active clients per OST: both the probability that someone else
+owns the stripe and the queueing delay of the revocation round trip grow
+with the client count -- the mechanism behind GCRM's slow unaligned
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.engine import Engine
+from ..sim.resources import Semaphore, SlotChannel
+from ..sim.rng import RngStreams
+from .cache import PageCache
+from .machine import MachineConfig
+from .mds import MetadataServer
+from .ost import OstPool
+from .readahead import ReadAheadEngine, ReadPlan
+
+__all__ = ["FsArbiter", "LustreClient", "IoResult"]
+
+#: quadratic contention coefficient (clients-per-OST -> penalty scale)
+CONTENTION_COEFF = 0.15
+#: an ownership change of a *fully covered* stripe is cheap: no flush-back
+FULL_STRIPE_REVOKE_DISCOUNT = 0.2
+
+
+@dataclass
+class IoResult:
+    """Per-operation diagnostics returned by the client to the VFS layer."""
+
+    duration: float
+    degraded: bool = False
+    readahead_window: int = 0
+    penalty: float = 0.0
+
+
+class FsArbiter:
+    """Tracks which nodes are actively doing I/O to which file and hands
+    out quasi-static bandwidth shares."""
+
+    def __init__(self, config: MachineConfig, now_fn=None):
+        self.config = config
+        #: clock accessor for time-varying background load (set by IoSystem)
+        self._now_fn = now_fn
+        #: OST streaming rate implied by the aggregate figures
+        self.ost_write_rate = config.fs_bw / config.n_osts
+        self.ost_read_rate = config.fs_read_bw / config.n_osts
+        #: file_id -> {node_id: refcount}
+        self._active: Dict[int, Dict[int, int]] = {}
+        #: per-task throughput ceiling (client-side RPC pipeline limit)
+        self.task_bw = min(config.client_bw, 100.0 * 1024 * 1024)
+
+    def begin(self, file_id: int, node: int) -> bool:
+        """Register an op; True when the node was idle on this file."""
+        nodes = self._active.setdefault(file_id, {})
+        nodes[node] = nodes.get(node, 0) + 1
+        return nodes[node] == 1
+
+    def end(self, file_id: int, node: int) -> None:
+        nodes = self._active.get(file_id)
+        if not nodes or node not in nodes:
+            raise RuntimeError("arbiter end without begin")
+        nodes[node] -= 1
+        if nodes[node] == 0:
+            del nodes[node]
+
+    def active_nodes(self, file_id: int) -> int:
+        return len(self._active.get(file_id, ()))
+
+    def file_bw(self, stripe_count: int, read: bool = False) -> float:
+        rate = self.ost_read_rate if read else self.ost_write_rate
+        return stripe_count * rate
+
+    def node_share(
+        self, file_id: int, stripe_count: int, read: bool = False
+    ) -> float:
+        """Per-node share of the file's bandwidth right now."""
+        n = max(self.active_nodes(file_id), 1)
+        share = min(self.config.client_bw, self.file_bw(stripe_count, read) / n)
+        return share * self._available_fraction()
+
+    def _available_fraction(self) -> float:
+        if not self.config.background_load or self._now_fn is None:
+            return 1.0
+        return self.config.available_fraction(self._now_fn())
+
+    def contention(self, file_id: int, stripe_count: int) -> float:
+        """Lock/RMW penalty scale: grows with active clients per OST."""
+        per_ost = self.active_nodes(file_id) / max(stripe_count, 1)
+        return 1.0 + CONTENTION_COEFF * per_ost * per_ost
+
+
+class LustreClient:
+    """The I/O stack of one compute node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig,
+        node_id: int,
+        arbiter: FsArbiter,
+        osts: OstPool,
+        mds: MetadataServer,
+        rng: RngStreams,
+        writeback_delay: float = 30.0,
+    ):
+        self.engine = engine
+        self.config = config
+        self.node_id = node_id
+        self.arbiter = arbiter
+        self.osts = osts
+        self.mds = mds
+        self.rng = rng
+        self.channel = SlotChannel(
+            engine, bandwidth=config.client_bw, slots=config.tasks_per_node
+        )
+        self.cache = PageCache(
+            engine,
+            quota_per_task=config.dirty_quota,
+            tasks_per_node=config.tasks_per_node,
+            mem_bw=config.mem_bw,
+            writeback_delay=writeback_delay,
+        )
+        self.readahead = ReadAheadEngine(config)
+        self.token = Semaphore(
+            engine, capacity=config.tasks_per_node, name=f"iotoken{node_id}"
+        )
+        self._slots = config.tasks_per_node
+        self.writes = 0
+        self.reads = 0
+
+    # -- discipline -------------------------------------------------------
+    def _resample_discipline(self) -> None:
+        """Draw the burst's service concurrency; only takes effect when the
+        node is idle (no holder, no waiter), like a real scheduler choosing
+        an ordering as a burst begins."""
+        if self.token._in_use > 0 or self.token.n_waiting > 0:
+            return
+        weights = self.config.discipline_weights
+        options = sorted(weights)
+        slots = int(
+            self.rng.choice_weighted(
+                f"node{self.node_id}/discipline",
+                options,
+                [weights[o] for o in options],
+            )
+        )
+        self._slots = max(min(slots, self.config.tasks_per_node), 1)
+        self.token.capacity = self._slots
+
+    def _tune_channel(self, share: float) -> None:
+        """Lane rate = min(per-task ceiling, share / concurrently serviced
+        ops).  Uses the *actual* in-flight count so a lone writer on a node
+        is not throttled to a quarter share."""
+        active = max(min(self.token._in_use, self._slots), 1)
+        lane = min(self.arbiter.task_bw, share / active)
+        self.channel.bandwidth = lane * active
+        self.channel.set_slots(active)
+
+    # -- write path ------------------------------------------------------------
+    def write(
+        self, task, file, offset: int, nbytes: int, sync: bool = False
+    ):
+        """Generator: full write path.  Returns :class:`IoResult`.
+
+        ``sync`` bypasses the page cache (O_SYNC / write-through), used by
+        middleware that must not leave data in volatile cache.
+        """
+        cfg = self.config
+        t0 = self.engine.now
+        if self.arbiter.begin(file.file_id, self.node_id):
+            self._resample_discipline()
+        # Let every same-timestamp peer register before shares are sampled.
+        yield self.engine.timeout(0.0)
+        yield self.token.acquire()
+        try:
+            share = self.arbiter.node_share(
+                file.file_id, file.layout.stripe_count
+            )
+            self._tune_channel(share)
+            contention = self.arbiter.contention(
+                file.file_id, file.layout.stripe_count
+            )
+            penalty = self.osts.write_penalty(
+                file.layout, offset, nbytes, contention=contention
+            )
+            if sync:
+                penalty += cfg.sync_write_latency
+            penalty += file.locks.write_penalty(
+                self.node_id,
+                file.layout,
+                offset,
+                nbytes,
+                scale=contention,
+                full_stripe_discount=FULL_STRIPE_REVOKE_DISCOUNT,
+            )
+            factor = self.osts.service_factor(f"node{self.node_id}/write")
+            factor *= self.osts.slow_factor(file.layout, offset, nbytes)
+
+            remaining = nbytes
+            while remaining > 0:
+                absorbed = 0.0 if sync else self.cache.absorb(task, remaining)
+                if absorbed > 0:
+                    yield self.engine.timeout(absorbed / cfg.mem_bw)
+                    self._schedule_writeback(task, absorbed)
+                    remaining -= int(absorbed)
+                else:
+                    chunk = min(remaining, cfg.io_chunk)
+                    yield self.channel.transfer(chunk, factor)
+                    remaining -= chunk
+            if penalty > 0:
+                yield self.engine.timeout(penalty * factor)
+        finally:
+            self.token.release()
+            self.arbiter.end(file.file_id, self.node_id)
+        self.writes += 1
+        return IoResult(duration=self.engine.now - t0, penalty=penalty)
+
+    def _schedule_writeback(self, task: int, nbytes: float) -> None:
+        def _kick(_ev) -> None:
+            self.cache.flushes += 1
+            self.engine.process(
+                self._bg_flush(task, nbytes), name=f"wb{self.node_id}"
+            )
+
+        tmo = self.engine.timeout(self.cache.writeback_delay)
+        tmo.add_callback(_kick)
+
+    def _bg_flush(self, task: int, nbytes: float):
+        """Background writeback: drain dirty pages chunk by chunk so quota
+        frees gradually (steady-state throttling, not alternating bursts)."""
+        remaining = nbytes
+        chunk_size = self.config.io_chunk
+        while remaining > 0:
+            chunk = min(remaining, chunk_size)
+            yield self.channel.transfer(chunk)
+            self.cache.mark_clean(task, chunk)
+            remaining -= chunk
+        return None
+
+    # -- read path ------------------------------------------------------------
+    def read(self, task, file, offset: int, nbytes: int):
+        """Generator: full read path.  Returns :class:`IoResult`."""
+        cfg = self.config
+        t0 = self.engine.now
+        if self.arbiter.begin(file.file_id, self.node_id):
+            self._resample_discipline()
+        yield self.engine.timeout(0.0)
+        # Read-ahead observes the stream in arrival order (before queueing).
+        plan: ReadPlan = self.readahead.observe(
+            task, file.file_id, offset, nbytes, self.cache.pressure()
+        )
+        yield self.token.acquire()
+        try:
+            share = self.arbiter.node_share(
+                file.file_id, file.layout.stripe_count, read=True
+            )
+            self._tune_channel(share)
+            penalty = self.osts.read_penalty(file.layout, offset, nbytes)
+            factor = self.osts.service_factor(f"node{self.node_id}/read")
+            factor *= self.osts.slow_factor(file.layout, offset, nbytes)
+            remaining = nbytes
+            while remaining > 0:
+                chunk = min(remaining, cfg.io_chunk)
+                yield self.channel.transfer(chunk, factor)
+                remaining -= chunk
+            if plan.degraded:
+                # The widened window cannot be backed by cache pages: the
+                # transfer re-issues as page-granular RPCs.  Cost scales
+                # with the window ramp and a heavy-tailed queueing factor
+                # -- this is the 30..500 s read shoulder of Figure 4c.
+                npages = max(nbytes // cfg.page_size, 1)
+                page_noise = self.rng.lognormal_factor(
+                    f"node{self.node_id}/pagestorm", 0.6, cap=3.0
+                )
+                penalty += (
+                    npages * cfg.page_read_cost * plan.severity * page_noise
+                )
+            if penalty > 0:
+                yield self.engine.timeout(penalty)
+        finally:
+            self.token.release()
+            self.arbiter.end(file.file_id, self.node_id)
+        self.reads += 1
+        return IoResult(
+            duration=self.engine.now - t0,
+            degraded=plan.degraded,
+            readahead_window=plan.window,
+            penalty=penalty,
+        )
+
+    # -- sync ------------------------------------------------------------------
+    def sync(self, task):
+        """Generator: wait until the node's dirty pages have drained."""
+        yield self.cache.sync_event()
+        return None

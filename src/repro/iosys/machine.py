@@ -1,0 +1,245 @@
+"""Machine models for the simulated Cray XT + Lustre platforms.
+
+A :class:`MachineConfig` gathers every parameter of the mechanistic I/O
+model.  Two presets mirror the paper's platforms:
+
+- :meth:`MachineConfig.franklin` -- the NERSC Cray XT4 (quad-core nodes,
+  Lustre ``/scratch``: 24 OSS x 2 OST = 48 OSTs, ~16 GB/s available
+  aggregate), with the *buggy* client whose strided read-ahead detection
+  causes the MADbench pathology.
+- :meth:`MachineConfig.jaguar` -- the ORNL XT4 partition (72 OSS x 2 OST =
+  144 OSTs), with a patched client and lower service variability.
+
+All rates are bytes/second and all sizes bytes.  Parameters are calibrated
+so the reproduction matches the paper's *shape* (mode structure, relative
+speedups); they are not claimed to be the machines' exact hardware values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+__all__ = ["MachineConfig", "KiB", "MiB", "GiB"]
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+@dataclass
+class MachineConfig:
+    """Every knob of the simulated platform in one (immutable-ish) record."""
+
+    name: str = "testbox"
+
+    # -- node architecture ---------------------------------------------------
+    tasks_per_node: int = 4
+    #: peak Lustre-client bandwidth of one node (LNET/SeaStar bound)
+    client_bw: float = 800.0 * MiB
+    #: rate at which write() data is absorbed into the page cache
+    mem_bw: float = 2.5 * GiB
+    #: dirty-page quota per task before write() throttles to drain rate
+    dirty_quota: float = 32.0 * MiB
+    #: granularity of throttled transfers and background writeback
+    io_chunk: int = 16 * MiB
+
+    # -- file system ----------------------------------------------------------
+    #: aggregate file-system bandwidth available to the job (writes)
+    fs_bw: float = 16.0 * GiB
+    #: aggregate read bandwidth (storage arrays often read a bit faster)
+    fs_read_bw: float = 16.0 * GiB
+    n_osts: int = 48
+    stripe_size: int = 1 * MiB
+    default_stripe_count: int = 4
+    #: Lustre RPC (bulk transfer) granularity
+    rpc_size: int = 1 * MiB
+    #: fixed software cost per RPC issued
+    rpc_overhead: float = 0.3e-3
+
+    #: commit round trip paid by every O_SYNC (write-through) operation
+    sync_write_latency: float = 5.0e-3
+
+    # -- metadata server -------------------------------------------------------
+    mds_latency: float = 1.0e-3
+    mds_concurrency: int = 16
+
+    # -- locking / alignment penalties -----------------------------------------
+    #: cost of revoking an extent lock held by another client
+    lock_revoke_cost: float = 2.0e-3
+    #: cost of a read-modify-write for a partially covered stripe
+    rmw_cost: float = 4.0e-3
+
+    # -- fault injection ---------------------------------------------------------
+    #: per-OST service slowdown factors (e.g. a degraded RAID rebuild:
+    #: ``{17: 6.0}`` makes OST 17 six times slower).  An op striped over a
+    #: slow OST completes at the slow stripe's pace.
+    ost_slowdown: Dict[int, float] = field(default_factory=dict)
+    #: production interference: (t_start, t_end, fraction) intervals during
+    #: which other jobs consume ``fraction`` of the file system's bandwidth
+    #: ("factors affecting performance include the load from other jobs on
+    #: the HPC system").  Sampled quasi-statically at each op's start.
+    background_load: Tuple[Tuple[float, float, float], ...] = ()
+
+    # -- service-time variability ----------------------------------------------
+    #: lognormal sigma on bulk-transfer service time
+    noise_sigma: float = 0.12
+    #: probability that a transfer hits a pathological slow path
+    tail_prob: float = 0.004
+    #: multiplicative slowdown of a tail event (upper bound; drawn uniform 1..x)
+    tail_factor: float = 6.0
+
+    # -- client scheduling (harmonic-mode mechanism) ----------------------------
+    #: weights for the per-burst node service discipline: number of
+    #: concurrently serviced tasks -> weight.  ``1`` = one task takes the
+    #: whole node share until done ("a particular order to the processing in
+    #: the Lustre parallel file system"), ``tasks_per_node`` = fair share.
+    discipline_weights: Dict[int, float] = field(
+        default_factory=lambda: {1: 0.35, 2: 0.30, 4: 0.35}
+    )
+
+    # -- read-ahead (the MADbench Lustre bug) ------------------------------------
+    #: master switch: the patch that "removed strided read-ahead detection
+    #: entirely" sets this False
+    strided_readahead: bool = True
+    #: strided pattern recognised on this many consecutive matching accesses
+    stride_detect_count: int = 3
+    #: dirty/quota node ratio above which the widened window degrades to
+    #: page-granular RPCs
+    pressure_threshold: float = 0.6
+    page_size: int = 4 * KiB
+    #: service cost of one 4 KiB read RPC in the degraded path
+    page_read_cost: float = 1.8e-3
+    #: read-ahead window ramp: doubles per matching strided access
+    readahead_base_window: int = 2 * MiB
+    readahead_max_window: int = 64 * MiB
+
+    def __post_init__(self) -> None:
+        if self.tasks_per_node < 1:
+            raise ValueError("tasks_per_node must be >= 1")
+        if self.stripe_size <= 0 or self.rpc_size <= 0:
+            raise ValueError("sizes must be positive")
+        if not self.discipline_weights:
+            raise ValueError("discipline_weights must be non-empty")
+        for slots in self.discipline_weights:
+            if slots < 1:
+                raise ValueError("discipline slot counts must be >= 1")
+        for ost, factor in self.ost_slowdown.items():
+            if not (0 <= ost < self.n_osts):
+                raise ValueError(f"slow OST index {ost} out of range")
+            if factor < 1.0:
+                raise ValueError("ost_slowdown factors must be >= 1")
+        for t0, t1, frac in self.background_load:
+            if t1 <= t0:
+                raise ValueError("background_load interval must have t1 > t0")
+            if not (0.0 <= frac < 1.0):
+                raise ValueError("background_load fraction must be in [0, 1)")
+
+    def available_fraction(self, t: float) -> float:
+        """Fraction of the file system's bandwidth available at time t
+        (1.0 minus the strongest overlapping background-load interval)."""
+        taken = 0.0
+        for t0, t1, frac in self.background_load:
+            if t0 <= t < t1:
+                taken = max(taken, frac)
+        return 1.0 - taken
+
+    # -- derived quantities ------------------------------------------------------
+    def nodes_for(self, ntasks: int) -> int:
+        """Number of nodes a job of ``ntasks`` occupies (packed layout)."""
+        return (ntasks + self.tasks_per_node - 1) // self.tasks_per_node
+
+    def fair_share_per_task(self, ntasks: int) -> float:
+        """The paper's 'fair share' rate: aggregate bandwidth / tasks."""
+        return self.fs_bw / max(ntasks, 1)
+
+    def node_share(self, active_nodes: int) -> float:
+        """Quasi-static per-node share of the aggregate, client-capped."""
+        if active_nodes < 1:
+            active_nodes = 1
+        return min(self.client_bw, self.fs_bw / active_nodes)
+
+    def node_read_share(self, active_nodes: int) -> float:
+        if active_nodes < 1:
+            active_nodes = 1
+        return min(self.client_bw, self.fs_read_bw / active_nodes)
+
+    def with_overrides(self, **kwargs) -> "MachineConfig":
+        """A copy with selected fields replaced (presets stay pristine)."""
+        return replace(self, **kwargs)
+
+    # -- presets --------------------------------------------------------------
+    @classmethod
+    def franklin(cls, **overrides) -> "MachineConfig":
+        """NERSC Franklin XT4 with the buggy Lustre client (pre-patch)."""
+        cfg = cls(
+            name="franklin",
+            tasks_per_node=4,
+            client_bw=700.0 * MiB,
+            mem_bw=2.5 * GiB,
+            dirty_quota=32.0 * MiB,
+            fs_bw=16.0 * GiB,
+            fs_read_bw=14.0 * GiB,
+            n_osts=48,
+            stripe_size=1 * MiB,
+            default_stripe_count=4,
+            noise_sigma=0.14,
+            tail_prob=0.002,
+            tail_factor=3.5,
+            strided_readahead=True,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def franklin_patched(cls, **overrides) -> "MachineConfig":
+        """Franklin after the Lustre read-ahead patch (Section IV.C)."""
+        return cls.franklin(strided_readahead=False, **overrides)
+
+    @classmethod
+    def jaguar(cls, **overrides) -> "MachineConfig":
+        """ORNL Jaguar XT4 partition: 144 OSTs, patched client, steadier
+        service ("only modest variability in I/O rate")."""
+        cfg = cls(
+            name="jaguar",
+            tasks_per_node=4,
+            client_bw=900.0 * MiB,
+            mem_bw=2.5 * GiB,
+            dirty_quota=32.0 * MiB,
+            fs_bw=40.0 * GiB,
+            fs_read_bw=36.0 * GiB,
+            n_osts=144,
+            stripe_size=1 * MiB,
+            default_stripe_count=4,
+            noise_sigma=0.06,
+            tail_prob=0.001,
+            tail_factor=3.0,
+            strided_readahead=False,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def testbox(cls, **overrides) -> "MachineConfig":
+        """A tiny deterministic machine for unit tests: no noise, no tails."""
+        cfg = cls(
+            name="testbox",
+            tasks_per_node=2,
+            client_bw=100.0 * MiB,
+            mem_bw=1.0 * GiB,
+            dirty_quota=8.0 * MiB,
+            io_chunk=1 * MiB,
+            fs_bw=400.0 * MiB,
+            fs_read_bw=400.0 * MiB,
+            n_osts=4,
+            stripe_size=1 * MiB,
+            default_stripe_count=2,
+            rpc_overhead=0.0,
+            sync_write_latency=0.0,
+            mds_latency=0.0,
+            lock_revoke_cost=0.0,
+            rmw_cost=0.0,
+            noise_sigma=0.0,
+            tail_prob=0.0,
+            discipline_weights={2: 1.0},
+            strided_readahead=True,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg

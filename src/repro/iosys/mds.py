@@ -1,0 +1,69 @@
+"""Metadata server (MDS) model.
+
+Lustre serialises namespace operations through a single metadata server.
+We model it as a FIFO :class:`~repro.sim.resources.Server` with bounded
+concurrency and a per-operation latency: a metadata *storm* (10,240 tasks
+opening a shared file at once) queues and stretches out, exactly the
+behaviour large-scale shared-file workloads see in production.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Engine, Event
+from ..sim.resources import Server
+from ..sim.rng import RngStreams
+from .machine import MachineConfig
+
+__all__ = ["MetadataServer"]
+
+
+class MetadataServer:
+    """FIFO metadata service: open / close / stat / unlink."""
+
+    #: relative cost of each op class in units of ``mds_latency``
+    OP_COST = {
+        "open": 1.0,
+        "open_create": 1.6,
+        "close": 0.5,
+        "stat": 0.7,
+        "unlink": 1.2,
+        "sync": 0.8,
+    }
+
+    def __init__(self, engine: Engine, config: MachineConfig, rng: RngStreams):
+        self.engine = engine
+        self.config = config
+        self.rng = rng
+        self.ops = {name: 0 for name in self.OP_COST}
+        if config.mds_latency > 0:
+            self._server: Server | None = Server(
+                engine,
+                rate=1.0,  # unused: requests carry zero bytes
+                concurrency=config.mds_concurrency,
+                overhead=config.mds_latency,
+                name="mds",
+            )
+        else:
+            self._server = None
+
+    def request(self, op: str) -> Event:
+        """Issue a metadata op; the event's value is the service time."""
+        if op not in self.OP_COST:
+            raise ValueError(f"unknown metadata op {op!r}")
+        self.ops[op] += 1
+        if self._server is None:
+            ev = self.engine.event()
+            ev.succeed(0.0)
+            return ev
+        factor = self.OP_COST[op] * self.rng.lognormal_factor(
+            "mds/noise", self.config.noise_sigma
+        )
+        return self._server.request(0.0, factor=factor)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    @property
+    def queue_depth(self) -> int:
+        return self._server.queue_depth if self._server else 0

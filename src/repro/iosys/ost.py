@@ -1,0 +1,127 @@
+"""Object storage target (OST) pool.
+
+Bandwidth metering happens at the node channel (see ``client.py``), so the
+OST pool's job is the *latency/penalty* side of the model plus accounting:
+
+- per-RPC software overhead (``rpc_overhead`` x number of bulk RPCs),
+- read-modify-write penalties for partially covered stripes,
+- service-time noise and rare heavy-tail events (the run-to-run variability
+  the paper's ensemble view is designed to see through),
+- byte/request counters per OST for diagnostics and load-balance tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..sim.rng import RngStreams
+from .machine import MachineConfig
+from .striping import StripeLayout
+
+__all__ = ["OstPool"]
+
+
+class OstPool:
+    """Statistics and penalty model for the machine's OSTs."""
+
+    def __init__(self, config: MachineConfig, rng: RngStreams):
+        self.config = config
+        self.rng = rng
+        self.bytes_written = np.zeros(config.n_osts, dtype=float)
+        self.bytes_read = np.zeros(config.n_osts, dtype=float)
+        self.rpcs = np.zeros(config.n_osts, dtype=int)
+        self.rmw_events = 0
+
+    # -- penalties ---------------------------------------------------------
+    def write_penalty(
+        self,
+        layout: StripeLayout,
+        offset: int,
+        length: int,
+        contention: float = 1.0,
+    ) -> float:
+        """RPC overhead + RMW cost for a write extent; updates counters.
+
+        ``contention`` scales the RMW term: a read-modify-write queues
+        behind every other client hammering the same OST, so its effective
+        cost grows with the population (see FsArbiter.contention).
+        """
+        cfg = self.config
+        penalty = 0.0
+        n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
+        penalty += n_rpcs * cfg.rpc_overhead
+        partial = layout.partial_stripes(offset, length)
+        if partial and cfg.rmw_cost > 0:
+            self.rmw_events += partial
+            penalty += partial * cfg.rmw_cost * contention
+        for ost, nbytes in layout.bytes_per_ost(offset, length).items():
+            self.bytes_written[ost] += nbytes
+        self._count_rpcs(layout, offset, length, n_rpcs)
+        return penalty
+
+    def read_penalty(
+        self, layout: StripeLayout, offset: int, length: int
+    ) -> float:
+        """RPC overhead for a read extent; updates counters."""
+        cfg = self.config
+        n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
+        for ost, nbytes in layout.bytes_per_ost(offset, length).items():
+            self.bytes_read[ost] += nbytes
+        self._count_rpcs(layout, offset, length, n_rpcs)
+        return n_rpcs * cfg.rpc_overhead
+
+    def _count_rpcs(
+        self, layout: StripeLayout, offset: int, length: int, n_rpcs: int
+    ) -> None:
+        if length <= 0:
+            return
+        # attribute RPCs round-robin over the OSTs the extent touches
+        osts = sorted(layout.bytes_per_ost(offset, length))
+        for i in range(n_rpcs):
+            self.rpcs[osts[i % len(osts)]] += 1
+
+    # -- fault injection ------------------------------------------------------
+    def slow_factor(self, layout: StripeLayout, offset: int, length: int) -> float:
+        """Service-time multiplier from injected per-OST slowdowns.
+
+        A striped transfer completes when its slowest stripe completes, so
+        the op inherits the worst slowdown among the OSTs it touches.
+        """
+        slow = self.config.ost_slowdown
+        if not slow or length <= 0:
+            return 1.0
+        touched = layout.bytes_per_ost(offset, length)
+        return max((slow.get(ost, 1.0) for ost in touched), default=1.0)
+
+    # -- stochastic service factors ----------------------------------------
+    def service_factor(self, stream: str) -> float:
+        """Multiplicative noise for one bulk transfer: lognormal body plus a
+        rare uniform heavy tail."""
+        cfg = self.config
+        factor = self.rng.lognormal_factor(stream, cfg.noise_sigma)
+        if cfg.tail_prob > 0:
+            u = self.rng.stream(stream + "/tail").uniform()
+            if u < cfg.tail_prob:
+                factor *= self.rng.uniform(
+                    stream + "/tailf", 1.0, cfg.tail_factor
+                )
+        return factor
+
+    # -- diagnostics ----------------------------------------------------------
+    def load_imbalance(self) -> float:
+        """max/mean of per-OST written bytes (1.0 = perfectly balanced)."""
+        total = self.bytes_written.sum()
+        if total == 0:
+            return 1.0
+        mean = total / len(self.bytes_written)
+        return float(self.bytes_written.max() / mean) if mean else 1.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bytes_written": self.bytes_written.copy(),
+            "bytes_read": self.bytes_read.copy(),
+            "rpcs": self.rpcs.copy(),
+            "rmw_events": self.rmw_events,
+        }

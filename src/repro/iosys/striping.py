@@ -1,0 +1,129 @@
+"""Lustre-style stripe layout arithmetic.
+
+A file's byte stream is chopped into ``stripe_size`` stripes distributed
+round-robin over ``stripe_count`` OSTs starting at ``start_ost``.  The
+functions here answer the questions the penalty model needs:
+
+- which OSTs (and how many bytes each) does an extent touch,
+- how many stripe *boundaries* does an extent cross,
+- which stripes are only *partially* covered (triggering read-modify-write
+  at the server for writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["StripeLayout", "Extent"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous byte range of one stripe, mapped to its OST."""
+
+    ost: int
+    stripe_index: int
+    offset: int  # file offset of the first byte
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Immutable layout descriptor for one file."""
+
+    stripe_size: int
+    stripe_count: int
+    n_osts: int
+    start_ost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise ValueError("stripe_size must be positive")
+        if not (1 <= self.stripe_count <= self.n_osts):
+            raise ValueError(
+                f"stripe_count must be in [1, n_osts]: "
+                f"{self.stripe_count} vs {self.n_osts}"
+            )
+        if not (0 <= self.start_ost < self.n_osts):
+            raise ValueError("start_ost out of range")
+
+    def ost_of_stripe(self, stripe_index: int) -> int:
+        """OST serving the given stripe (round-robin placement)."""
+        return (self.start_ost + stripe_index % self.stripe_count) % self.n_osts
+
+    def stripe_of_offset(self, offset: int) -> int:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        return offset // self.stripe_size
+
+    def extents(self, offset: int, length: int) -> List[Extent]:
+        """Split ``[offset, offset+length)`` into per-stripe extents."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be non-negative")
+        out: List[Extent] = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe = pos // self.stripe_size
+            stripe_end = (stripe + 1) * self.stripe_size
+            chunk = min(end, stripe_end) - pos
+            out.append(
+                Extent(
+                    ost=self.ost_of_stripe(stripe),
+                    stripe_index=stripe,
+                    offset=pos,
+                    length=chunk,
+                )
+            )
+            pos += chunk
+        return out
+
+    def bytes_per_ost(self, offset: int, length: int) -> Dict[int, int]:
+        """Total bytes an extent sends to each OST."""
+        acc: Dict[int, int] = {}
+        for ext in self.extents(offset, length):
+            acc[ext.ost] = acc.get(ext.ost, 0) + ext.length
+        return acc
+
+    def boundary_crossings(self, offset: int, length: int) -> int:
+        """Number of stripe boundaries strictly inside the extent."""
+        if length <= 0:
+            return 0
+        first = offset // self.stripe_size
+        last = (offset + length - 1) // self.stripe_size
+        return last - first
+
+    def partial_stripes(self, offset: int, length: int) -> int:
+        """Stripes touched but not fully covered by the extent.
+
+        A write to a partial stripe forces the server to read-modify-write
+        the stripe (or take a sub-stripe lock), which is the mechanism the
+        GCRM alignment optimization removes.
+        """
+        if length <= 0:
+            return 0
+        n = 0
+        for ext in self.extents(offset, length):
+            stripe_start = ext.stripe_index * self.stripe_size
+            full = ext.offset == stripe_start and ext.length == self.stripe_size
+            if not full:
+                n += 1
+        return n
+
+    def is_aligned(self, offset: int, length: int) -> bool:
+        """True when the extent starts and ends on stripe boundaries."""
+        return (
+            offset % self.stripe_size == 0
+            and (offset + length) % self.stripe_size == 0
+        )
+
+    def rpcs_for(self, length: int, rpc_size: int) -> int:
+        """Number of bulk RPCs needed to move ``length`` bytes."""
+        if length <= 0:
+            return 0
+        return (length + rpc_size - 1) // rpc_size

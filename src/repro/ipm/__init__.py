@@ -1,0 +1,29 @@
+"""IPM-I/O: lightweight, scalable I/O tracing and profiling."""
+
+from .events import DATA_OPS, READ_OPS, WRITE_OPS, Trace, TraceEvent
+from .interceptor import IpmCollector, IpmIo
+from .patterns import PatternDetector, StreamPattern, detect_patterns
+from .profile import IoProfile, StreamingHistogram
+from .report import OpStats, RunReport, build_report, format_report
+from .storage import load_trace, save_trace
+
+__all__ = [
+    "DATA_OPS",
+    "READ_OPS",
+    "WRITE_OPS",
+    "Trace",
+    "TraceEvent",
+    "IpmCollector",
+    "IpmIo",
+    "PatternDetector",
+    "StreamPattern",
+    "detect_patterns",
+    "IoProfile",
+    "StreamingHistogram",
+    "OpStats",
+    "RunReport",
+    "build_report",
+    "format_report",
+    "load_trace",
+    "save_trace",
+]

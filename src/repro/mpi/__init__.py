@@ -1,0 +1,13 @@
+"""Simulated MPI: SPMD world, communicators, collectives, point-to-point."""
+
+from .comm import Communicator, Interconnect, MpiError, RankComm
+from .runtime import RankContext, World
+
+__all__ = [
+    "Communicator",
+    "Interconnect",
+    "MpiError",
+    "RankComm",
+    "RankContext",
+    "World",
+]

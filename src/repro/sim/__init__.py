@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel (engine, resources, RNG streams)."""
+
+from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .resources import Lock, Semaphore, Server, SharedPipe, SlotChannel
+from .rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Lock",
+    "Semaphore",
+    "Server",
+    "SharedPipe",
+    "SlotChannel",
+    "RngStreams",
+]

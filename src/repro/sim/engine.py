@@ -1,0 +1,333 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free, simpy-flavoured engine.  Simulated entities are
+Python generators ("processes") driven by an :class:`Engine`.  A process
+advances simulated time by yielding *waitables*:
+
+- :class:`Timeout` -- resume after a fixed simulated delay,
+- :class:`Event`   -- resume when the event is triggered (its value is sent
+  back into the generator),
+- another :class:`Process` -- resume when the child process returns (its
+  return value is sent back),
+- :class:`AllOf`   -- resume when every component waitable has triggered.
+
+The engine is deterministic: ties in simulated time are broken by a
+monotonically increasing sequence number, so two runs with the same seeds
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it, delivering ``value`` (or raising ``exc``) in every process
+    waiting on it.  Events may be yielded by processes or combined with
+    :class:`AllOf`.
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "_triggered", "_callbacks")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._ready(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._exc = exc
+        self.engine._ready(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if done)."""
+        if self._triggered and self._callbacks is _CONSUMED:
+            # Already dispatched: run at once.
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+
+_CONSUMED: List[Callable[[Event], None]] = []
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._triggered = True  # scheduled, cannot be succeeded manually
+        self._value = value
+        engine._schedule(engine.now + self.delay, self)
+
+
+class Process(Event):
+    """A running generator.  Also an event: triggers when the generator
+    returns (value = the generator's return value) or raises (fail)."""
+
+    __slots__ = ("_gen", "name", "_waiting_on")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at time `now`.
+        boot = Event(engine)
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            # Detach from whatever it was waiting for.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        kick = Event(self.engine)
+        kick.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        kick.succeed(None)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            # already finished (e.g. returned after an interrupt while a
+            # stale timeout was still scheduled): ignore the wake-up
+            return
+        self._waiting_on = None
+        if event._exc is not None:
+            self._throw(event._exc)
+        else:
+            self._step(lambda: self._gen.send(event._value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self._gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        engine = self.engine
+        engine._active_process, previous = self, engine._active_process
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if self._callbacks or engine._crash_on_unhandled is False:
+                self.fail(exc)
+            else:
+                raise
+            return
+        finally:
+            engine._active_process = previous
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once every component event has triggered successfully.
+
+    The value is the list of component values, in the given order.  If any
+    component fails, this event fails with the first failure.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._collect)
+
+    def _collect(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Triggers as soon as ANY component event triggers.
+
+    The value is ``(index, value)`` of the first component to fire; a
+    component failure fails this event.  Later components still trigger on
+    their own but are ignored here.  Useful for timeout races::
+
+        winner, _ = yield engine.any_of([work_done, engine.timeout(30.0)])
+        if winner == 1: ...  # timed out
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf needs at least one event")
+        for i, ev in enumerate(self._events):
+            ev.add_callback(lambda e, i=i: self._first(i, e))
+
+    def _first(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed((index, event._value))
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._crash_on_unhandled = True
+        self._event_count = 0
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, at: float, event: Event) -> None:
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {at} < now {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, event))
+
+    def _ready(self, event: Event) -> None:
+        """Queue a just-triggered event for callback dispatch *now*."""
+        self._schedule(self.now, event)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time when the loop stopped.
+        """
+        heap = self._heap
+        while heap:
+            at, _seq, event = heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            if at < self.now:
+                raise SimulationError("time went backwards")
+            self.now = at
+            self._event_count += 1
+            callbacks, event._callbacks = event._callbacks, _CONSUMED
+            for fn in callbacks:
+                fn(event)
+        return self.now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events dispatched so far (diagnostic)."""
+        return self._event_count

@@ -1,0 +1,211 @@
+"""Unit tests for the automated bottleneck-diagnosis engine.
+
+Each check gets a synthetic trace that exhibits (or pointedly does not
+exhibit) the pathology, so the diagnostics are verified independently of
+the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ensembles.diagnose import Finding, diagnose
+from repro.ipm.events import Trace, TraceEvent
+
+MiB = 1024 * 1024
+
+
+def add(tr, rank, op, size, t, dur, phase="", offset=0):
+    tr.append(
+        TraceEvent(
+            rank=rank, op=op, path="/f", fd=3, offset=offset, size=size,
+            t_start=t, duration=dur, phase=phase,
+        )
+    )
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def healthy_trace(nranks=32, rng_seed=0):
+    """Plenty of well-aligned mid-size ops with mild, unimodal noise."""
+    rng = np.random.default_rng(rng_seed)
+    tr = Trace()
+    for rank in range(nranks):
+        for i in range(16):
+            add(
+                tr, rank, "write", 4 * MiB,
+                t=i * 1.0 + rank * 0.001,
+                dur=float(rng.normal(1.0, 0.03)),
+                offset=(rank * 16 + i) * 4 * MiB,
+            )
+    return tr
+
+
+class TestHealthyBaseline:
+    def test_no_findings_on_clean_trace(self):
+        findings = diagnose(
+            healthy_trace(), fair_share_rate=4 * MiB, stripe_size=MiB
+        )
+        assert findings == []
+
+
+class TestHarmonicModes:
+    def test_detects_node_serialisation(self):
+        rng = np.random.default_rng(1)
+        tr = Trace()
+        for rank in range(256):
+            mode = (8, 16, 16, 32, 32, 32)[rank % 6]
+            add(tr, rank, "write", 64 * MiB, 0.0,
+                float(rng.normal(mode, 0.3)),
+                offset=rank * 64 * MiB)
+        found = diagnose(tr)
+        assert "harmonic-modes" in codes(found)
+        f = next(x for x in found if x.code == "harmonic-modes")
+        assert f.evidence["fundamental"] == pytest.approx(32, abs=2)
+
+    def test_silent_on_unimodal(self):
+        assert "harmonic-modes" not in codes(diagnose(healthy_trace()))
+
+
+class TestBroadShoulder:
+    def test_detects_read_tail(self):
+        rng = np.random.default_rng(2)
+        tr = Trace()
+        for rank in range(64):
+            add(tr, rank, "read", 8 * MiB, 0.0, float(rng.normal(2, 0.1)))
+        for rank in range(6):
+            add(tr, rank, "read", 8 * MiB, 10.0, float(rng.uniform(60, 400)))
+        found = diagnose(tr)
+        assert "broad-right-shoulder" in codes(found)
+
+    def test_silent_on_tight_distribution(self):
+        assert "broad-right-shoulder" not in codes(diagnose(healthy_trace()))
+
+
+class TestProgressiveDeterioration:
+    def make(self, worsen: bool):
+        rng = np.random.default_rng(3)
+        tr = Trace()
+        for p in range(5):
+            scale = (2.0 * (2.2**p)) if worsen else 2.0
+            for rank in range(32):
+                add(
+                    tr, rank, "read", 8 * MiB,
+                    t=p * 100.0,
+                    dur=float(rng.normal(scale, 0.05 * scale)),
+                    phase=f"W_read{p + 4}",
+                )
+        return tr
+
+    def test_detects_worsening_phases(self):
+        assert "progressive-deterioration" in codes(diagnose(self.make(True)))
+
+    def test_silent_on_stable_phases(self):
+        assert "progressive-deterioration" not in codes(
+            diagnose(self.make(False))
+        )
+
+
+class TestRank0Serialization:
+    def make(self, serialized: bool):
+        tr = Trace()
+        # data phase from everyone
+        for rank in range(16):
+            add(tr, rank, "write", 2 * MiB, 0.0, 1.0)
+        # metadata: tiny writes with think-time gaps
+        writer = (lambda i: 0) if serialized else (lambda i: i % 16)
+        for i in range(100):
+            add(tr, writer(i), "write", 2048, 2.0 + i * 0.2, 0.01)
+        return tr
+
+    def test_detects_rank0_metadata(self):
+        found = diagnose(self.make(True), nranks=16)
+        assert "rank0-serialization" in codes(found)
+        f = next(x for x in found if x.code == "rank0-serialization")
+        # the burst *span* (including the gaps) is what gets charged
+        assert f.evidence["serial_time"] > 15.0
+
+    def test_silent_when_spread_across_ranks(self):
+        assert "rank0-serialization" not in codes(
+            diagnose(self.make(False), nranks=16)
+        )
+
+
+class TestFairShare:
+    def test_detects_below_fair_share(self):
+        tr = Trace()
+        for rank in range(32):
+            # 1 MiB in 4 s = 0.25 MB/s against a 2 MB/s fair share
+            add(tr, rank, "write", MiB, 0.0, 4.0)
+        found = diagnose(tr, fair_share_rate=2 * MiB)
+        assert "below-fair-share" in codes(found)
+
+    def test_silent_at_fair_share(self):
+        tr = Trace()
+        for rank in range(32):
+            add(tr, rank, "write", 2 * MiB, 0.0, 1.0)
+        assert "below-fair-share" not in codes(
+            diagnose(tr, fair_share_rate=2 * MiB)
+        )
+
+    def test_skipped_without_reference(self):
+        tr = Trace()
+        for rank in range(32):
+            add(tr, rank, "write", MiB, 0.0, 100.0)
+        assert "below-fair-share" not in codes(diagnose(tr))
+
+
+class TestAlignment:
+    def test_detects_unaligned_records(self):
+        tr = Trace()
+        rec = int(1.6 * MiB)
+        for rank in range(32):
+            add(tr, rank, "write", rec, 0.0, 1.0, offset=rank * rec)
+        assert "unaligned-io" in codes(diagnose(tr, stripe_size=MiB))
+
+    def test_silent_on_aligned(self):
+        assert "unaligned-io" not in codes(
+            diagnose(healthy_trace(), stripe_size=MiB)
+        )
+
+    def test_tiny_ops_ignored_for_alignment(self):
+        tr = Trace()
+        for rank in range(32):
+            add(tr, rank, "write", 2048, 0.0, 0.1, offset=rank * 3000)
+            add(tr, rank, "write", 4 * MiB, 1.0, 1.0, offset=rank * 4 * MiB)
+        assert "unaligned-io" not in codes(diagnose(tr, stripe_size=MiB))
+
+
+class TestLlnOpportunity:
+    def test_detects_few_spread_transfers(self):
+        rng = np.random.default_rng(4)
+        tr = Trace()
+        for rank in range(64):
+            add(tr, rank, "write", 64 * MiB, 0.0,
+                float(rng.lognormal(1.0, 0.8)))
+        assert "lln-opportunity" in codes(diagnose(tr))
+
+    def test_silent_with_many_transfers(self):
+        assert "lln-opportunity" not in codes(diagnose(healthy_trace()))
+
+
+class TestFindingsApi:
+    def test_sorted_by_severity(self):
+        rng = np.random.default_rng(5)
+        tr = Trace()
+        rec = int(1.6 * MiB)
+        for rank in range(64):
+            add(tr, rank, "write", rec, 0.0,
+                float(rng.lognormal(1.0, 0.9)), offset=rank * rec)
+        found = diagnose(tr, stripe_size=MiB)
+        sevs = [f.severity for f in found]
+        assert sevs == sorted(sevs, reverse=True)
+        assert all(0 <= s <= 1 for s in sevs)
+
+    def test_str_contains_code(self):
+        f = Finding(code="x-y", severity=0.5, message="m", recommendation="r")
+        assert "x-y" in str(f)
+
+    def test_empty_trace_no_findings(self):
+        assert diagnose(Trace()) == []

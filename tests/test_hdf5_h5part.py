@@ -1,0 +1,173 @@
+"""Unit tests for the HDF5/H5Part middleware."""
+
+import pytest
+
+from repro.apps.h5part import H5PartFile
+from repro.apps.harness import SimJob
+from repro.apps.hdf5 import H5File, align_up
+from repro.iosys.machine import MachineConfig, MiB
+
+KiB = 1024
+
+
+def job(ntasks=4, **kw):
+    return SimJob(MachineConfig.testbox(), ntasks, **kw)
+
+
+class TestAlignUp:
+    def test_rounds_up(self):
+        assert align_up(1, MiB) == MiB
+        assert align_up(MiB, MiB) == MiB
+        assert align_up(MiB + 1, MiB) == 2 * MiB
+
+    def test_none_is_identity(self):
+        assert align_up(12345, None) == 12345
+        assert align_up(12345, 0) == 12345
+        assert align_up(12345, 1) == 12345
+
+
+class TestH5File:
+    def run_with_file(self, ntasks=4, records=2, **open_kw):
+        j = job(ntasks)
+
+        def fn(ctx):
+            h5 = yield from H5File.create(ctx, "/d.h5", **open_kw)
+            ds = yield from h5.create_dataset(
+                "v", int(1.6 * MiB), records_per_rank=records
+            )
+            for rec in range(records):
+                yield from h5.write_record(ds, rec)
+            yield from h5.finish_step(ds)
+            yield from h5.close()
+            return ds
+
+        results = j.run(fn).per_rank
+        return j, results[0]
+
+    def test_unaligned_slabs_pack_tightly(self):
+        j, ds = self.run_with_file()
+        assert ds.slab_stride == ds.slab_bytes
+        # neighbouring ranks' records abut
+        assert ds.slab_offset(1, 0) - ds.slab_offset(0, 0) == ds.slab_bytes
+
+    def test_alignment_pads_slabs(self):
+        j, ds = self.run_with_file(alignment=1 * MiB)
+        assert ds.slab_stride == 2 * MiB  # 1.6 MB padded up
+        assert ds.slab_offset(0, 0) % MiB == 0
+        assert ds.slab_offset(3, 1) % MiB == 0
+
+    def test_record_interleaving_matches_h5part(self):
+        _j, ds = self.run_with_file(ntasks=4, records=3)
+        # record-major: all ranks' record 0, then record 1 ...
+        assert ds.slab_offset(0, 1) == ds.offset + 4 * ds.slab_stride
+
+    def test_all_slabs_written(self):
+        j, ds = self.run_with_file(ntasks=4, records=2)
+        data = j.collector.trace.writes().filter(min_size=MiB)
+        assert len(data) == 8
+        offsets = sorted(data.offsets.tolist())
+        assert len(set(offsets)) == 8  # no overlap
+
+    def test_metadata_serial_on_rank0(self):
+        j, _ds = self.run_with_file()
+        tiny = j.collector.trace.data_ops().filter(max_size=4 * KiB)
+        assert len(tiny) > 0
+        assert set(tiny.ranks.tolist()) == {0}
+
+    def test_metadata_aggregation_defers_to_close(self):
+        j = job(4)
+
+        def fn(ctx):
+            h5 = yield from H5File.create(
+                ctx, "/d.h5", metadata_aggregation=True, meta_txn_cost=0.05
+            )
+            ds = yield from h5.create_dataset("v", MiB)
+            yield from h5.write_record(ds, 0)
+            yield from h5.finish_step(ds)
+            mid_tiny = len(
+                ctx.collector.trace.data_ops().filter(max_size=4 * KiB)
+            )
+            yield from h5.close()
+            return mid_tiny
+
+        mid_counts = j.run(fn).per_rank
+        # before close: only the superblock write, no per-txn small I/O
+        assert all(c <= 1 for c in mid_counts)
+        # at close, pending metadata went out as >= 1 larger write
+        final = j.collector.trace.writes().filter(min_size=4 * KiB)
+        assert len(final) >= 1
+
+    def test_meta_txn_counter(self):
+        j, _ = self.run_with_file()
+        reg = j.iosys.__dict__["_h5_registry"]["/d.h5"]
+        assert reg["meta_txns"] >= H5File.META_TXN_PER_CREATE + 1
+
+    def test_dataset_reuse_does_not_move_cursor(self):
+        j = job(2)
+
+        def fn(ctx):
+            h5 = yield from H5File.create(ctx, "/d.h5")
+            a = yield from h5.create_dataset("v", MiB)
+            b = yield from h5.create_dataset("v", MiB)
+            return (a.offset, b.offset)
+
+        results = j.run(fn).per_rank
+        assert all(a == b for a, b in results)
+
+    def test_datasets_do_not_overlap(self):
+        j = job(2)
+
+        def fn(ctx):
+            h5 = yield from H5File.create(ctx, "/d.h5")
+            a = yield from h5.create_dataset("a", MiB, records_per_rank=2)
+            b = yield from h5.create_dataset("b", MiB)
+            return (a, b)
+
+        a, b = j.run(fn).per_rank[0]
+        a_end = a.offset + a.slab_stride * a.nranks * a.records_per_rank
+        assert b.offset >= a_end
+
+
+class TestH5Part:
+    def test_step_and_field_workflow(self):
+        j = job(4)
+
+        def fn(ctx):
+            f = yield from H5PartFile.open(ctx, "/p.h5", stripe_count=4)
+            yield from f.set_step(0)
+            r0 = yield from f.write_field("x", MiB)
+            r1 = yield from f.write_field("y", MiB, records_per_rank=3)
+            yield from f.close()
+            return (len(r0), len(r1))
+
+        assert j.run(fn).per_rank == [(1, 3)] * 4
+        data = j.collector.trace.writes().filter(min_size=MiB)
+        assert len(data) == 4 * (1 + 3)
+
+    def test_write_field_requires_step(self):
+        j = job(2)
+
+        def fn(ctx):
+            f = yield from H5PartFile.open(ctx, "/p.h5")
+            with pytest.raises(RuntimeError, match="set_step"):
+                yield from f.write_field("x", MiB)
+            yield from ctx.comm.barrier()
+            return True
+
+        assert all(j.run(fn).per_rank)
+
+    def test_fields_in_different_steps_are_distinct_datasets(self):
+        j = job(2)
+
+        def fn(ctx):
+            f = yield from H5PartFile.open(ctx, "/p.h5")
+            yield from f.set_step(0)
+            yield from f.write_field("x", MiB)
+            yield from f.set_step(1)
+            yield from f.write_field("x", MiB)
+            yield from f.close()
+            return None
+
+        j.run(fn)
+        reg = j.iosys.__dict__["_h5_registry"]["/p.h5"]
+        assert set(reg["datasets"]) == {"step0/x", "step1/x"}

@@ -1,0 +1,191 @@
+"""Unit tests for machine configuration, the job harness, and the
+experiment runner plumbing."""
+
+import pytest
+
+from repro.apps.harness import AppResult, SimJob
+from repro.experiments.runner import ExperimentResult, format_table
+from repro.iosys.machine import GiB, KiB, MachineConfig, MiB
+from repro.iosys.posix import O_CREAT, O_RDWR
+
+
+class TestMachineConfig:
+    def test_presets_have_paper_topologies(self):
+        f = MachineConfig.franklin()
+        assert f.n_osts == 48  # 24 OSS x 2 OST
+        assert f.tasks_per_node == 4  # quad-core XT4
+        assert f.strided_readahead is True  # the bug is present
+        j = MachineConfig.jaguar()
+        assert j.n_osts == 144  # 72 OSS x 2 OST
+        assert j.strided_readahead is False
+
+    def test_patched_franklin_differs_only_in_readahead(self):
+        a = MachineConfig.franklin()
+        b = MachineConfig.franklin_patched()
+        assert a.strided_readahead and not b.strided_readahead
+        assert a.with_overrides(strided_readahead=False) == b
+
+    def test_with_overrides_does_not_mutate_preset(self):
+        a = MachineConfig.franklin()
+        b = a.with_overrides(fs_bw=1.0 * GiB)
+        assert a.fs_bw != b.fs_bw
+        assert MachineConfig.franklin().fs_bw == a.fs_bw
+
+    def test_fair_share_arithmetic(self):
+        f = MachineConfig.franklin()
+        # the paper: ~16 MB/s fair share for 1024 tasks of a 16 GB/s system
+        assert f.fair_share_per_task(1024) == pytest.approx(16 * MiB)
+
+    def test_node_share_capped_by_client(self):
+        f = MachineConfig.franklin()
+        assert f.node_share(1) == f.client_bw
+        assert f.node_share(1024) == pytest.approx(f.fs_bw / 1024)
+        assert f.node_share(0) == f.node_share(1)
+
+    def test_nodes_for_rounds_up(self):
+        f = MachineConfig.franklin()
+        assert f.nodes_for(1) == 1
+        assert f.nodes_for(4) == 1
+        assert f.nodes_for(5) == 2
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MachineConfig(tasks_per_node=0)
+        with pytest.raises(ValueError):
+            MachineConfig(stripe_size=0)
+        with pytest.raises(ValueError):
+            MachineConfig(discipline_weights={})
+        with pytest.raises(ValueError):
+            MachineConfig(discipline_weights={0: 1.0})
+        with pytest.raises(ValueError):
+            MachineConfig(ost_slowdown={999: 2.0})
+        with pytest.raises(ValueError):
+            MachineConfig(ost_slowdown={0: 0.5})
+
+    def test_units(self):
+        assert KiB == 1024 and MiB == 1024**2 and GiB == 1024**3
+
+
+class TestSimJob:
+    def test_extras_exposed_on_context(self):
+        job = SimJob(MachineConfig.testbox(), 2)
+
+        def fn(ctx):
+            yield ctx.engine.timeout(0)
+            assert ctx.machine.name == "testbox"
+            assert ctx.iosys is job.iosys
+            assert ctx.collector is job.collector
+            assert ctx.io.rank == ctx.rank
+            return True
+
+        assert job.run(fn).per_rank == [True, True]
+
+    def test_result_fields(self):
+        job = SimJob(MachineConfig.testbox(), 3)
+
+        def fn(ctx):
+            fd = yield from ctx.io.open(f"/f{ctx.rank}", O_CREAT | O_RDWR)
+            yield from ctx.io.pwrite(fd, 1024, 0)
+            yield from ctx.io.close(fd)
+            return ctx.rank
+
+        result = job.run(fn)
+        assert isinstance(result, AppResult)
+        assert result.ntasks == 3
+        assert result.per_rank == [0, 1, 2]
+        assert result.total_bytes == 3 * 1024
+        assert result.elapsed > 0
+
+    def test_seed_controls_rng(self):
+        def run(seed):
+            job = SimJob(
+                MachineConfig.testbox(noise_sigma=0.3, dirty_quota=0.0),
+                4,
+                seed=seed,
+            )
+
+            def fn(ctx):
+                fd = yield from ctx.io.open(
+                    f"/f{ctx.rank}", O_CREAT | O_RDWR
+                )
+                res = yield from ctx.io.pwrite(fd, 4 * MiB, 0)
+                return res.duration
+
+            return job.run(fn).per_rank
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_profile_mode_passthrough(self):
+        job = SimJob(MachineConfig.testbox(), 2, ipm_mode="profile")
+
+        def fn(ctx):
+            fd = yield from ctx.io.open(f"/f{ctx.rank}", O_CREAT | O_RDWR)
+            yield from ctx.io.pwrite(fd, 1024, 0)
+            yield from ctx.io.close(fd)
+            return None
+
+        result = job.run(fn)
+        assert len(result.trace) == 0
+        assert result.collector.profile.total_events() == 6
+
+
+class TestExperimentResult:
+    def test_all_verdicts_hold(self):
+        r = ExperimentResult("x", "small", verdicts={"a": True, "b": True})
+        assert r.all_verdicts_hold()
+        r.verdicts["c"] = False
+        assert not r.all_verdicts_hold()
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            "title",
+            [{"name": "a", "v": 1.23456}, {"name": "bb", "v": 0.0}],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert len(set(len(ln) for ln in lines[1:])) <= 2  # aligned columns
+
+    def test_format_table_explicit_columns(self):
+        text = format_table("t", [{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[1]
+
+
+class TestBackgroundLoad:
+    def test_available_fraction_schedule(self):
+        m = MachineConfig.testbox(
+            background_load=((10.0, 20.0, 0.5), (15.0, 30.0, 0.25))
+        )
+        assert m.available_fraction(0.0) == 1.0
+        assert m.available_fraction(12.0) == 0.5
+        assert m.available_fraction(17.0) == 0.5   # strongest overlap wins
+        assert m.available_fraction(25.0) == 0.75
+        assert m.available_fraction(30.0) == 1.0   # half-open interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(background_load=((5.0, 5.0, 0.5),))
+        with pytest.raises(ValueError):
+            MachineConfig(background_load=((0.0, 1.0, 1.0),))
+
+    def test_interference_slows_io_during_interval(self):
+        def run(load):
+            machine = MachineConfig.testbox(
+                dirty_quota=0.0, background_load=load
+            )
+            job = SimJob(machine, 2)
+
+            def fn(ctx):
+                fd = yield from ctx.io.open(
+                    f"/f{ctx.rank}", O_CREAT | O_RDWR
+                )
+                res = yield from ctx.io.pwrite(fd, 20 * 1024 * 1024, 0)
+                yield from ctx.io.close(fd)
+                return res.duration
+
+            return job.run(fn).per_rank
+
+        clean = run(())
+        loaded = run(((0.0, 1e9, 0.6),))
+        for c, l in zip(clean, loaded):
+            assert l > 2.0 * c  # 60% taken -> ~2.5x slower

@@ -1,0 +1,335 @@
+"""Unit tests for the simulated MPI runtime and collectives."""
+
+import pytest
+
+from repro.mpi.comm import Communicator, Interconnect, MpiError
+from repro.mpi.runtime import World
+
+
+class TestBarrier:
+    def test_all_ranks_wait_for_slowest(self):
+        w = World(nranks=4)
+        arrivals = []
+
+        def fn(ctx):
+            yield ctx.engine.timeout(ctx.rank * 1.0)
+            yield from ctx.comm.barrier()
+            arrivals.append((ctx.rank, ctx.now))
+
+        w.run(fn)
+        assert all(t == 3.0 for _r, t in arrivals)
+
+    def test_multiple_barriers_in_sequence(self):
+        w = World(nranks=3)
+
+        def fn(ctx):
+            for i in range(5):
+                yield ctx.engine.timeout(0.5 if ctx.rank == 0 else 0.1)
+                yield from ctx.comm.barrier()
+            return ctx.now
+
+        results = w.run(fn)
+        assert results == [2.5] * 3
+
+
+class TestCollectives:
+    def test_bcast_from_nonzero_root(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            payload = "secret" if ctx.rank == 2 else None
+            got = yield from ctx.comm.bcast(payload, root=2)
+            return got
+
+        assert w.run(fn) == ["secret"] * 4
+
+    def test_gather_only_root_receives(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            got = yield from ctx.comm.gather(ctx.rank * 10, root=1)
+            return got
+
+        results = w.run(fn)
+        assert results[1] == [0, 10, 20, 30]
+        assert results[0] is None and results[2] is None
+
+    def test_scatter(self):
+        w = World(nranks=3)
+
+        def fn(ctx):
+            values = ["a", "b", "c"] if ctx.rank == 0 else None
+            got = yield from ctx.comm.scatter(values, root=0)
+            return got
+
+        assert w.run(fn) == ["a", "b", "c"]
+
+    def test_scatter_wrong_length_raises(self):
+        w = World(nranks=3)
+
+        def fn(ctx):
+            values = ["a", "b"] if ctx.rank == 0 else None
+            got = yield from ctx.comm.scatter(values, root=0)
+            return got
+
+        with pytest.raises(MpiError):
+            w.run(fn)
+
+    def test_allgather(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            got = yield from ctx.comm.allgather(ctx.rank**2)
+            return got
+
+        assert w.run(fn) == [[0, 1, 4, 9]] * 4
+
+    def test_reduce_custom_op(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            got = yield from ctx.comm.reduce(
+                ctx.rank + 1, op=lambda a, b: a * b, root=0
+            )
+            return got
+
+        assert w.run(fn)[0] == 24
+
+    def test_allreduce_sum_default(self):
+        w = World(nranks=5)
+
+        def fn(ctx):
+            return (yield from ctx.comm.allreduce(ctx.rank))
+
+        assert w.run(fn) == [10] * 5
+
+    def test_alltoall(self):
+        w = World(nranks=3)
+
+        def fn(ctx):
+            out = [(ctx.rank, dst) for dst in range(3)]
+            got = yield from ctx.comm.alltoall(out)
+            return got
+
+        results = w.run(fn)
+        assert results[1] == [(0, 1), (1, 1), (2, 1)]
+
+    def test_split_builds_subcommunicators(self):
+        w = World(nranks=6)
+
+        def fn(ctx):
+            sub = yield from ctx.comm.split(ctx.rank % 2)
+            total = yield from sub.allreduce(ctx.rank)
+            return (sub.size, sub.rank, total)
+
+        results = w.run(fn)
+        assert results[0] == (3, 0, 0 + 2 + 4)
+        assert results[1] == (3, 0, 1 + 3 + 5)
+        assert results[5] == (3, 2, 9)
+
+    def test_collective_order_mismatch_detected(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.barrier()
+            else:
+                yield from ctx.comm.bcast("x", root=0)
+
+        with pytest.raises(MpiError, match="mismatch"):
+            w.run(fn)
+
+    def test_root_mismatch_detected(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            got = yield from ctx.comm.bcast("x", root=ctx.rank)
+            return got
+
+        with pytest.raises(MpiError, match="root mismatch"):
+            w.run(fn)
+
+
+class TestPointToPoint:
+    def test_send_then_recv(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, {"k": 1}, tag=5)
+                return None
+            got = yield from ctx.comm.recv(0, tag=5)
+            return got
+
+        assert w.run(fn)[1] == {"k": 1}
+
+    def test_recv_posted_before_send(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 1:
+                got = yield from ctx.comm.recv(0, tag=0)
+                return got
+            yield ctx.engine.timeout(2.0)
+            yield from ctx.comm.send(1, "late", tag=0)
+            return None
+
+        assert w.run(fn)[1] == "late"
+
+    def test_tags_do_not_cross(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, "tagA", tag="a")
+                yield from ctx.comm.send(1, "tagB", tag="b")
+                return None
+            b = yield from ctx.comm.recv(0, tag="b")
+            a = yield from ctx.comm.recv(0, tag="a")
+            return (a, b)
+
+        assert w.run(fn)[1] == ("tagA", "tagB")
+
+    def test_message_order_preserved_per_tag(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    yield from ctx.comm.send(1, i)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from ctx.comm.recv(0)))
+            return got
+
+        assert w.run(fn)[1] == [0, 1, 2, 3, 4]
+
+
+class TestInterconnectCosts:
+    def test_zero_cost_default(self):
+        ic = Interconnect()
+        assert ic.p2p_cost(1e9) == 0.0
+        assert ic.collective_cost(1024, 1e9) == 0.0
+
+    def test_alpha_beta_model(self):
+        ic = Interconnect(latency=1e-6, bandwidth=1e9)
+        assert ic.p2p_cost(1e9) == pytest.approx(1.0 + 1e-6)
+        # 1024 ranks -> 10 latency steps
+        assert ic.collective_cost(1024, 0.0) == pytest.approx(10e-6)
+
+    def test_costs_advance_simulated_time(self):
+        w = World(nranks=2, interconnect=Interconnect(latency=0.5))
+
+        def fn(ctx):
+            yield from ctx.comm.barrier()
+            return ctx.now
+
+        results = w.run(fn)
+        assert all(t >= 0.5 for t in results)
+
+
+class TestWorld:
+    def test_rank_return_values_in_order(self):
+        w = World(nranks=5)
+
+        def fn(ctx):
+            yield ctx.engine.timeout((5 - ctx.rank) * 0.1)
+            return ctx.rank * 2
+
+        assert w.run(fn) == [0, 2, 4, 6, 8]
+
+    def test_deadlock_detection(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.barrier()  # rank 1 never arrives
+            else:
+                yield from ctx.comm.recv(0, tag=99)  # never sent
+
+        with pytest.raises(RuntimeError, match="never finished"):
+            w.run(fn)
+
+    def test_extras_factory_injects_context(self):
+        w = World(nranks=2)
+        w.set_extras_factory(lambda rank: {"payload": rank * 100})
+
+        def fn(ctx):
+            yield ctx.engine.timeout(0)
+            return ctx.payload
+
+        assert w.run(fn) == [0, 100]
+
+    def test_missing_extra_raises_attribute_error(self):
+        w = World(nranks=1)
+
+        def fn(ctx):
+            yield ctx.engine.timeout(0)
+            with pytest.raises(AttributeError):
+                _ = ctx.nonexistent
+            return True
+
+        assert w.run(fn) == [True]
+
+    def test_elapsed_is_last_rank_finish(self):
+        w = World(nranks=3)
+
+        def fn(ctx):
+            yield ctx.engine.timeout(float(ctx.rank))
+            return None
+
+        w.run(fn)
+        assert w.elapsed == 2.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            World(nranks=0)
+        with pytest.raises(ValueError):
+            Communicator(World(nranks=1).engine, 0)
+
+
+class TestScanAndSendrecv:
+    def test_scan_inclusive_prefix(self):
+        w = World(nranks=5)
+
+        def fn(ctx):
+            got = yield from ctx.comm.scan(ctx.rank + 1)
+            return got
+
+        assert w.run(fn) == [1, 3, 6, 10, 15]
+
+    def test_scan_custom_op(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            got = yield from ctx.comm.scan(
+                ctx.rank + 1, op=lambda a, b: a * b
+            )
+            return got
+
+        assert w.run(fn) == [1, 2, 6, 24]
+
+    def test_sendrecv_ring_shift(self):
+        w = World(nranks=4)
+
+        def fn(ctx):
+            right = (ctx.rank + 1) % 4
+            left = (ctx.rank - 1) % 4
+            got = yield from ctx.comm.sendrecv(right, ctx.rank, left)
+            return got
+
+        assert w.run(fn) == [3, 0, 1, 2]
+
+    def test_sendrecv_with_tags(self):
+        w = World(nranks=2)
+
+        def fn(ctx):
+            other = 1 - ctx.rank
+            got = yield from ctx.comm.sendrecv(
+                other, f"from{ctx.rank}", other,
+                sendtag="x", recvtag="x",
+            )
+            return got
+
+        assert w.run(fn) == ["from1", "from0"]

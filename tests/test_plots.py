@@ -1,0 +1,102 @@
+"""Tests for the ASCII plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.ensembles.histogram import linear_histogram, log_histogram
+from repro.ensembles.plots import (
+    plot_cdfs,
+    plot_curve,
+    plot_histogram,
+    plot_rate_curve,
+)
+from repro.ensembles.progress import ProgressCurve, phase_progress
+from repro.ensembles.timeseries import aggregate_rate
+from repro.ipm.events import Trace
+
+
+class TestPlotHistogram:
+    def test_renders_bars_and_axis(self):
+        h = linear_histogram(np.random.default_rng(0).normal(10, 1, 300),
+                             bins=40)
+        text = plot_histogram(h, title="T", height=6)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 6 + 2  # title + rows + axis + legend
+        assert "#" in text
+
+    def test_peak_column_full_height(self):
+        h = linear_histogram([1.0] * 50 + [5.0], bins=10, range_=(0, 10))
+        text = plot_histogram(h, height=5)
+        rows = text.splitlines()[:5]
+        # the dominant bin reaches the top row
+        assert "#" in rows[0]
+
+    def test_log_counts_compress_dynamic_range(self):
+        data = [1.0] * 1000 + [5.0] * 2
+        h = linear_histogram(data, bins=10, range_=(0, 10))
+        lin = plot_histogram(h, height=10)
+        log = plot_histogram(h, height=10, log_counts=True)
+        # on the linear plot the rare mode is invisible above row 10
+        count_lin = sum(row.count("#") for row in lin.splitlines())
+        count_log = sum(row.count("#") for row in log.splitlines())
+        assert count_log > count_lin
+
+    def test_empty_histogram(self):
+        h = log_histogram([])
+        assert "(empty histogram)" in plot_histogram(h)
+
+    def test_resamples_many_bins(self):
+        h = linear_histogram(
+            np.random.default_rng(1).random(1000), bins=500
+        )
+        text = plot_histogram(h, width=50)
+        assert max(len(r) for r in text.splitlines()) <= 60
+
+
+class TestPlotCurve:
+    def test_renders_scatter(self):
+        x = np.linspace(0, 10, 100)
+        text = plot_curve(x, np.sin(x) + 1.5, title="wave", height=8)
+        assert "*" in text
+        assert "wave" in text
+
+    def test_rate_curve_wrapper(self):
+        tr = Trace()
+        tr.record(0, "write", "/f", 3, 0, 10 * 1024**2, 0.0, 5.0)
+        curve = aggregate_rate(tr, n_bins=20)
+        text = plot_rate_curve(curve, title="rate")
+        assert "MB/s" in text
+
+    def test_empty_and_degenerate(self):
+        assert "(no data)" in plot_curve([], [])
+        assert "(degenerate data)" in plot_curve([1.0], [0.0])
+
+
+class TestPlotCdfs:
+    def make_curves(self, n=3):
+        tr = Trace()
+        for r in range(8):
+            for p in range(n):
+                tr.record(r, "read", "/f", 3, 0, 100, p * 50.0,
+                          1.0 * (p + 1) + 0.1 * r, phase=f"p{p}")
+        return list(phase_progress(tr).values())
+
+    def test_overlays_with_legend(self):
+        text = plot_cdfs(self.make_curves(3), title="cdfs", height=6)
+        assert "o=p0" in text and "x=p1" in text and "+=p2" in text
+        assert text.splitlines()[0] == "cdfs"
+
+    def test_slower_curve_stays_lower(self):
+        curves = self.make_curves(2)
+        text = plot_cdfs(curves, width=40, height=10)
+        rows = text.splitlines()[2:-2]
+        # at mid-plot, the fast curve ('o') has reached a higher row than
+        # the slow one ('x'): find each glyph's highest row at column 20
+        col = 20
+        first_o = next(i for i, r in enumerate(rows) if r[col:col+1] == "o" or "o" in r)
+        first_x = next(i for i, r in enumerate(rows) if "x" in r)
+        assert first_o <= first_x
+
+    def test_empty(self):
+        assert "(no curves)" in plot_cdfs([])

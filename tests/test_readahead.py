@@ -1,0 +1,130 @@
+"""Unit tests for the read-ahead engine and the strided-detection bug."""
+
+import pytest
+
+from repro.iosys.machine import MachineConfig, MiB
+from repro.iosys.readahead import ReadAheadEngine
+
+
+def engine(**over):
+    params = dict(
+        strided_readahead=True,
+        stride_detect_count=3,
+        pressure_threshold=0.6,
+        readahead_base_window=2 * MiB,
+        readahead_max_window=64 * MiB,
+    )
+    params.update(over)
+    return ReadAheadEngine(MachineConfig.testbox(**params))
+
+
+STRIDE = 10 * MiB
+SIZE = 8 * MiB  # leaves a 2 MiB gap -> strided pattern
+
+
+def strided_reads(ra, n, pressure, task=0, file_id=0, start=0):
+    plans = []
+    for i in range(n):
+        plans.append(
+            ra.observe(task, file_id, start + i * STRIDE, SIZE, pressure)
+        )
+    return plans
+
+
+class TestStrideDetection:
+    def test_detected_on_configured_count(self):
+        ra = engine()
+        plans = strided_reads(ra, 6, pressure=0.0)
+        # strides observed between reads: detection at the 4th read
+        assert [p.strided for p in plans] == [False, False, False, True, True, True]
+        assert ra.detections == 1
+
+    def test_window_ramps_and_caps(self):
+        ra = engine()
+        plans = strided_reads(ra, 10, pressure=0.0)
+        windows = [p.window for p in plans if p.strided]
+        assert windows[0] == 4 * MiB
+        assert windows[1] == 8 * MiB
+        assert all(b >= a for a, b in zip(windows, windows[1:]))
+        assert windows[-1] == 64 * MiB  # capped
+
+    def test_no_degradation_without_pressure(self):
+        ra = engine()
+        plans = strided_reads(ra, 8, pressure=0.3)
+        assert not any(p.degraded for p in plans)
+
+    def test_degrades_under_pressure(self):
+        ra = engine()
+        plans = strided_reads(ra, 8, pressure=0.9)
+        degraded = [p for p in plans if p.degraded]
+        assert len(degraded) == 5  # reads 4..8
+        severities = [p.severity for p in degraded]
+        assert all(b >= a for a, b in zip(severities, severities[1:]))
+        assert severities[-1] == pytest.approx(1.0)
+
+    def test_patched_client_never_degrades(self):
+        ra = engine(strided_readahead=False)
+        plans = strided_reads(ra, 8, pressure=1.0)
+        assert not any(p.strided or p.degraded for p in plans)
+        assert ra.detections == 0
+
+    def test_sequential_stream_resets_state(self):
+        ra = engine()
+        strided_reads(ra, 5, pressure=1.0)
+        # now read contiguously: stream state resets
+        st = ra.stream_state(0, 0)
+        ra.observe(0, 0, st.last_end, SIZE, 1.0)
+        assert not ra.stream_state(0, 0).detected
+
+    def test_backward_jump_resets_state(self):
+        ra = engine()
+        strided_reads(ra, 5, pressure=1.0)
+        plan = ra.observe(0, 0, 0, SIZE, 1.0)  # seek back to start
+        assert not plan.degraded
+        # re-detection takes stride_detect_count strides again
+        plans = strided_reads(ra, 4, pressure=1.0, start=STRIDE)
+        assert [p.strided for p in plans] == [False, False, True, True]
+
+    def test_stride_change_restarts_counting(self):
+        ra = engine()
+        ra.observe(0, 0, 0, SIZE, 1.0)
+        ra.observe(0, 0, STRIDE, SIZE, 1.0)
+        ra.observe(0, 0, 2 * STRIDE, SIZE, 1.0)
+        # different stride: candidate resets
+        plan = ra.observe(0, 0, 2 * STRIDE + 7 * MiB + SIZE, SIZE, 1.0)
+        assert not plan.strided
+
+    def test_streams_are_per_task_and_file(self):
+        ra = engine()
+        strided_reads(ra, 6, pressure=1.0, task=0, file_id=0)
+        # another task on the same file starts fresh
+        plans = strided_reads(ra, 3, pressure=1.0, task=1, file_id=0)
+        assert not any(p.strided for p in plans)
+        # same task, another file starts fresh too
+        plans = strided_reads(ra, 3, pressure=1.0, task=0, file_id=1)
+        assert not any(p.strided for p in plans)
+
+    def test_degraded_counter(self):
+        ra = engine()
+        strided_reads(ra, 8, pressure=1.0)
+        assert ra.degraded_reads == 5
+
+
+class TestMadbenchShape:
+    """The exact access pattern of the MADbench phases."""
+
+    def test_middle_phase_interleaved_writes_do_not_break_detection(self):
+        ra = engine()
+        # reads observe only the read stream; writes go elsewhere and are
+        # not fed to observe() -- the stride between reads stays constant
+        plans = strided_reads(ra, 8, pressure=1.0)
+        assert sum(p.degraded for p in plans) == 5
+
+    def test_final_phase_clean_when_pressure_gone(self):
+        ra = engine()
+        strided_reads(ra, 8, pressure=1.0)  # middle phase
+        # final phase re-reads from the start, pressure has drained
+        plans = strided_reads(ra, 8, pressure=0.0)
+        assert not any(p.degraded for p in plans)
+        # but the pattern is still recognised as strided eventually
+        assert any(p.strided for p in plans)

@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, engine):
+        ev = engine.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        engine.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger_raises(self, engine):
+        ev = engine.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_reraises_in_value(self, engine):
+        ev = engine.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+    def test_callback_after_dispatch_runs_immediately(self, engine):
+        ev = engine.event()
+        ev.succeed("x")
+        engine.run()
+        late = []
+        ev.add_callback(lambda e: late.append(e.value))
+        assert late == ["x"]
+
+
+class TestTimeout:
+    def test_advances_clock(self, engine):
+        times = []
+
+        def proc():
+            yield engine.timeout(1.5)
+            times.append(engine.now)
+            yield engine.timeout(2.5)
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [1.5, 4.0]
+
+    def test_zero_delay_allowed(self, engine):
+        def proc():
+            yield engine.timeout(0.0)
+            return engine.now
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_timeout_carries_value(self, engine):
+        def proc():
+            got = yield engine.timeout(1.0, value="hello")
+            return got
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == "hello"
+
+
+class TestProcess:
+    def test_return_value(self, engine):
+        def proc():
+            yield engine.timeout(1)
+            return "done"
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == "done"
+        assert p.triggered and p.ok
+
+    def test_child_process_waitable(self, engine):
+        def child():
+            yield engine.timeout(2)
+            return 7
+
+        def parent():
+            result = yield engine.process(child())
+            return result + 1
+
+        p = engine.process(parent())
+        engine.run()
+        assert p.value == 8
+        assert engine.now == 2
+
+    def test_exception_propagates_to_parent(self, engine):
+        def child():
+            yield engine.timeout(1)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield engine.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = engine.process(parent())
+        engine.run()
+        assert p.value == "caught child died"
+
+    def test_unhandled_exception_crashes_run(self, engine):
+        def proc():
+            yield engine.timeout(1)
+            raise RuntimeError("unhandled")
+
+        engine.process(proc())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            engine.run()
+
+    def test_yield_non_event_rejected(self, engine):
+        def proc():
+            yield 42
+
+        engine.process(proc())
+        with pytest.raises(SimulationError, match="non-event"):
+            engine.run()
+
+    def test_interrupt_wakes_waiting_process(self, engine):
+        log = []
+
+        def sleeper():
+            try:
+                yield engine.timeout(100)
+            except Interrupt as intr:
+                log.append((engine.now, intr.cause))
+            return "interrupted"
+
+        p = engine.process(sleeper())
+
+        def interrupter():
+            yield engine.timeout(3)
+            p.interrupt(cause="wakeup")
+
+        engine.process(interrupter())
+        engine.run()
+        assert log == [(3, "wakeup")]
+        assert p.value == "interrupted"
+
+    def test_interrupt_finished_process_is_noop(self, engine):
+        def quick():
+            yield engine.timeout(1)
+            return 1
+
+        p = engine.process(quick())
+        engine.run()
+        p.interrupt()  # should not raise
+        assert p.value == 1
+
+
+class TestAllOf:
+    def test_waits_for_all(self, engine):
+        def proc():
+            evs = [engine.timeout(3, value="a"), engine.timeout(1, value="b")]
+            values = yield engine.all_of(evs)
+            return (engine.now, values)
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == (3, ["a", "b"])
+
+    def test_empty_succeeds_immediately(self, engine):
+        def proc():
+            values = yield engine.all_of([])
+            return values
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == []
+
+    def test_failure_propagates(self, engine):
+        bad = engine.event()
+
+        def proc():
+            yield engine.all_of([engine.timeout(1), bad])
+
+        p = engine.process(proc())
+
+        def failer():
+            yield engine.timeout(0.5)
+            bad.fail(ValueError("nope"))
+
+        def watcher():
+            try:
+                yield p
+            except ValueError:
+                return "saw failure"
+
+        w = engine.process(watcher())
+        engine.process(failer())
+        engine.run()
+        assert w.value == "saw failure"
+
+
+class TestEngineLoop:
+    def test_time_never_goes_backwards(self, engine):
+        stamps = []
+
+        def proc(delay):
+            yield engine.timeout(delay)
+            stamps.append(engine.now)
+
+        for d in (5, 1, 3, 2, 4):
+            engine.process(proc(d))
+        engine.run()
+        assert stamps == sorted(stamps)
+
+    def test_fifo_tie_break_at_same_time(self, engine):
+        order = []
+
+        def proc(tag):
+            yield engine.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(6):
+            engine.process(proc(tag))
+        engine.run()
+        assert order == list(range(6))
+
+    def test_run_until_stops_early(self, engine):
+        def proc():
+            yield engine.timeout(10)
+            return "late"
+
+        p = engine.process(proc())
+        stopped_at = engine.run(until=5.0)
+        assert stopped_at == 5.0
+        assert not p.triggered
+        engine.run()
+        assert p.value == "late"
+
+    def test_deterministic_event_count(self):
+        def scenario():
+            eng = Engine()
+
+            def proc():
+                for _ in range(10):
+                    yield eng.timeout(0.1)
+
+            for _ in range(5):
+                eng.process(proc())
+            eng.run()
+            return eng.event_count, eng.now
+
+        assert scenario() == scenario()

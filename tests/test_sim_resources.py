@@ -1,0 +1,231 @@
+"""Unit tests for shared-resource primitives."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.resources import Lock, Semaphore, Server, SharedPipe, SlotChannel
+
+
+def completions(engine, events):
+    """Collect (finish_time, value) for each event."""
+    out = [None] * len(events)
+    for i, ev in enumerate(events):
+        ev.add_callback(lambda e, i=i: out.__setitem__(i, engine.now))
+    engine.run()
+    return out
+
+
+class TestSlotChannel:
+    def test_exclusive_service_harmonics(self, engine):
+        ch = SlotChannel(engine, bandwidth=64.0, slots=1)
+        evs = [ch.transfer(128.0) for _ in range(4)]
+        assert completions(engine, evs) == [2.0, 4.0, 6.0, 8.0]
+
+    def test_two_slots_pairwise(self, engine):
+        ch = SlotChannel(engine, bandwidth=64.0, slots=2)
+        evs = [ch.transfer(128.0) for _ in range(4)]
+        assert completions(engine, evs) == [4.0, 4.0, 8.0, 8.0]
+
+    def test_fair_share_all_finish_together(self, engine):
+        ch = SlotChannel(engine, bandwidth=64.0, slots=4)
+        evs = [ch.transfer(128.0) for _ in range(4)]
+        assert completions(engine, evs) == [8.0] * 4
+
+    def test_factor_scales_duration(self, engine):
+        ch = SlotChannel(engine, bandwidth=10.0, slots=1)
+        ev = ch.transfer(10.0, factor=2.5)
+        assert completions(engine, [ev]) == [2.5]
+
+    def test_bytes_conserved(self, engine):
+        ch = SlotChannel(engine, bandwidth=100.0, slots=2)
+        for n in (10, 20, 30):
+            ch.transfer(float(n))
+        engine.run()
+        assert ch.bytes_transferred == 60.0
+
+    def test_zero_byte_transfer_is_instant(self, engine):
+        ch = SlotChannel(engine, bandwidth=5.0, slots=1)
+        ev = ch.transfer(0.0)
+        assert completions(engine, [ev]) == [0.0]
+
+    def test_queue_depth(self, engine):
+        ch = SlotChannel(engine, bandwidth=1.0, slots=1)
+        ch.transfer(10.0)
+        ch.transfer(10.0)
+        assert ch.queue_depth == 2
+
+    def test_set_slots_affects_future_transfers(self, engine):
+        ch = SlotChannel(engine, bandwidth=64.0, slots=1)
+        ev1 = ch.transfer(64.0)  # 1s at full rate
+        engine.run()
+        ch.set_slots(2)
+        ev2 = ch.transfer(64.0)  # now at half rate
+        t = completions(engine, [ev2])
+        assert t == [1.0 + 2.0]
+        assert ev1.ok
+
+    def test_rejects_bad_args(self, engine):
+        with pytest.raises(ValueError):
+            SlotChannel(engine, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            SlotChannel(engine, bandwidth=1.0, slots=0)
+        ch = SlotChannel(engine, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            ch.transfer(-1.0)
+
+
+class TestSharedPipe:
+    def test_single_transfer_full_rate(self, engine):
+        pipe = SharedPipe(engine, capacity=10.0)
+        ev = pipe.transfer(50.0)
+        assert completions(engine, [ev]) == [5.0]
+
+    def test_two_equal_transfers_share(self, engine):
+        pipe = SharedPipe(engine, capacity=10.0)
+        evs = [pipe.transfer(10.0), pipe.transfer(10.0)]
+        assert completions(engine, evs) == [2.0, 2.0]
+
+    def test_late_arrival_resharing(self, engine):
+        pipe = SharedPipe(engine, capacity=10.0)
+        first = pipe.transfer(20.0)  # alone: would finish at t=2
+
+        def late():
+            yield engine.timeout(1.0)
+            ev = pipe.transfer(10.0)
+            yield ev
+            return engine.now
+
+        p = engine.process(late())
+        done = completions(engine, [first])
+        # first: 10 bytes in [0,1) at rate 10, then 10 bytes at rate 5 -> t=3
+        assert done == [pytest.approx(3.0)]
+        # late: 10 bytes at rate 5 until t=3 (done); exactly at t=3
+        assert p.value == pytest.approx(3.0)
+
+    def test_departure_speeds_up_remaining(self, engine):
+        pipe = SharedPipe(engine, capacity=10.0)
+        small = pipe.transfer(10.0)
+        big = pipe.transfer(30.0)
+        times = completions(engine, [small, big])
+        # both at rate 5 until small done (t=2); big has 20 left at rate 10
+        assert times == [pytest.approx(2.0), pytest.approx(4.0)]
+
+    def test_bytes_conserved(self, engine):
+        pipe = SharedPipe(engine, capacity=3.0)
+        for n in (1.0, 2.0, 3.0):
+            pipe.transfer(n)
+        engine.run()
+        assert pipe.bytes_transferred == 6.0
+        assert pipe.n_active == 0
+
+
+class TestServer:
+    def test_fifo_with_overhead(self, engine):
+        srv = Server(engine, rate=10.0, concurrency=1, overhead=0.5)
+        evs = [srv.request(10.0), srv.request(10.0)]
+        assert completions(engine, evs) == [1.5, 3.0]
+
+    def test_concurrency_shares_rate(self, engine):
+        srv = Server(engine, rate=10.0, concurrency=2)
+        evs = [srv.request(10.0), srv.request(10.0)]
+        # each in-flight request gets rate/2 = 5
+        assert completions(engine, evs) == [2.0, 2.0]
+
+    def test_counters(self, engine):
+        srv = Server(engine, rate=10.0)
+        srv.request(5.0)
+        srv.request(15.0)
+        engine.run()
+        assert srv.requests_served == 2
+        assert srv.bytes_served == 20.0
+        assert srv.busy_time == pytest.approx(2.0)
+
+    def test_queue_depth_observable(self, engine):
+        srv = Server(engine, rate=1.0, concurrency=1)
+        for _ in range(5):
+            srv.request(10.0)
+        assert srv.queue_depth == 5
+
+
+class TestLock:
+    def test_mutual_exclusion_fifo(self, engine):
+        lock = Lock(engine)
+        order = []
+
+        def worker(tag, hold):
+            yield lock.acquire()
+            order.append(("in", tag, engine.now))
+            yield engine.timeout(hold)
+            lock.release()
+
+        for tag in range(3):
+            engine.process(worker(tag, 2.0))
+        engine.run()
+        assert order == [("in", 0, 0.0), ("in", 1, 2.0), ("in", 2, 4.0)]
+        assert lock.acquisitions == 3
+        assert lock.contended_acquisitions == 2
+
+    def test_release_unheld_raises(self, engine):
+        lock = Lock(engine)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+
+class TestSemaphore:
+    def test_capacity_limits_concurrency(self, engine):
+        sem = Semaphore(engine, capacity=2)
+        active = []
+        peak = []
+
+        def worker():
+            yield sem.acquire()
+            active.append(1)
+            peak.append(len(active))
+            yield engine.timeout(1.0)
+            active.pop()
+            sem.release()
+
+        for _ in range(5):
+            engine.process(worker())
+        engine.run()
+        assert max(peak) == 2
+
+    def test_release_idle_raises(self, engine):
+        sem = Semaphore(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_available_accounting(self, engine):
+        sem = Semaphore(engine, capacity=3)
+        sem.acquire()
+        sem.acquire()
+        assert sem.available == 1
+        sem.release()
+        assert sem.available == 2
+
+
+class TestSharedPipeNumerics:
+    """Regression: float residue from repeated resharing must not spin the
+    completion timer forever (found by hypothesis)."""
+
+    def test_adversarial_sizes_drain(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            eng = Engine()
+            pipe = SharedPipe(eng, capacity=100.0)
+            sizes = [rng.uniform(1.0, 1e6) for _ in range(rng.randint(1, 12))]
+            events = [pipe.transfer(s) for s in sizes]
+            eng.run(until=1e9)
+            assert pipe.n_active == 0
+            assert all(ev.ok for ev in events)
+
+    def test_tiny_and_huge_mix(self):
+        eng = Engine()
+        pipe = SharedPipe(eng, capacity=3.0)
+        evs = [pipe.transfer(s) for s in (1e-9, 1e6, 1.0, 1e-9, 999999.5)]
+        eng.run(until=1e9)
+        assert pipe.n_active == 0
+        assert all(ev.ok for ev in evs)
+        assert eng.event_count < 100
