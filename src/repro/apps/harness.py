@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..ipm.events import Trace
 from ..ipm.interceptor import IpmCollector, IpmIo
+from ..iosys.faults import FaultSchedule
 from ..iosys.machine import MachineConfig
 from ..iosys.posix import IoSystem
 from ..mpi.comm import Interconnect
@@ -61,7 +62,19 @@ class SimJob:
         interconnect: Optional[Interconnect] = None,
         writeback_delay: float = 30.0,
         placement: str = "packed",
+        faults: Optional[FaultSchedule] = None,
+        client_retry: Optional[bool] = None,
     ):
+        # fault-injection conveniences: the schedule and the retry switch
+        # live on the machine config, but a job frequently wants to ablate
+        # them without rebuilding the whole config
+        overrides = {}
+        if faults is not None:
+            overrides["faults"] = faults
+        if client_retry is not None:
+            overrides["client_retry"] = client_retry
+        if overrides:
+            machine = machine.with_overrides(**overrides)
         self.machine = machine
         self.ntasks = int(ntasks)
         self.seed = int(seed)
@@ -106,4 +119,5 @@ class SimJob:
             per_rank=per_rank,
             iosys=self.iosys,
             collector=self.collector,
+            meta={"retries": self.iosys.total_retries()},
         )

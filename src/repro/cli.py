@@ -11,6 +11,15 @@
 
 ``run-*`` commands simulate a workload, print the IPM report, and can
 persist the trace (``--save run.npz``) for later ``analyze``.
+
+Every ``run-*`` command accepts ``--fault SPEC`` (repeatable) to inject
+time-windowed storage faults, and ``--retry`` to enable the client's
+RPC retry/backoff path.  Specs::
+
+    degrade:OST:T0:T1:FACTOR   OST serves FACTORx slower in [T0, T1)
+    stall:OST:T0:T1            OST drops requests in [T0, T1)
+    mds:T0:T1:FACTOR           metadata ops FACTORx slower in [T0, T1)
+    burst:T0:T1:FACTOR         heavy-tail probability boosted in [T0, T1)
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from .apps.madbench import MadbenchConfig, run_madbench
 from .ensembles.analysis import analyze, format_analysis
 from .ipm.report import build_report, format_report
 from .ipm.storage import load_trace, save_trace
+from .iosys.faults import FaultSchedule
 from .iosys.machine import MachineConfig, MiB
 
 __all__ = ["main"]
@@ -37,13 +47,26 @@ _MACHINES = {
 }
 
 
-def _machine(name: str) -> MachineConfig:
+def _machine(name: str, args=None) -> MachineConfig:
     try:
-        return _MACHINES[name]()
+        machine = _MACHINES[name]()
     except KeyError:
         raise SystemExit(
             f"unknown machine {name!r}; choose from {', '.join(_MACHINES)}"
         )
+    if args is None:
+        return machine
+    overrides = {}
+    if getattr(args, "fault", None):
+        try:
+            sched = FaultSchedule.from_specs(args.fault)
+            sched.validate_devices(machine.n_osts)
+            overrides["faults"] = sched
+        except ValueError as exc:
+            raise SystemExit(f"bad --fault spec: {exc}")
+    if getattr(args, "retry", False):
+        overrides["client_retry"] = True
+    return machine.with_overrides(**overrides) if overrides else machine
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -53,6 +76,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="persist the trace (.npz or .jsonl)")
     p.add_argument("--analyze", action="store_true",
                    help="print the full ensemble analysis")
+    p.add_argument("--fault", action="append", metavar="SPEC",
+                   help="inject a fault window (repeatable); see spec "
+                        "grammar in the module help")
+    p.add_argument("--retry", action="store_true",
+                   help="enable client RPC retry/backoff under stalls")
 
 
 def _finish(result, ntasks: int, args) -> None:
@@ -67,7 +95,7 @@ def _finish(result, ntasks: int, args) -> None:
 
 
 def _cmd_run_ior(args) -> int:
-    machine = _machine(args.machine)
+    machine = _machine(args.machine, args)
     cfg = IorConfig(
         ntasks=args.ntasks,
         block_size=args.block * MiB,
@@ -87,7 +115,7 @@ def _cmd_run_ior(args) -> int:
 
 
 def _cmd_run_madbench(args) -> int:
-    machine = _machine(args.machine)
+    machine = _machine(args.machine, args)
     cfg = MadbenchConfig(
         ntasks=args.ntasks,
         n_matrices=args.matrices,
@@ -104,7 +132,7 @@ def _cmd_run_madbench(args) -> int:
 
 
 def _cmd_run_gcrm(args) -> int:
-    machine = _machine(args.machine)
+    machine = _machine(args.machine, args)
     cfg = GcrmConfig(
         ntasks=args.ntasks,
         io_tasks=args.io_tasks,

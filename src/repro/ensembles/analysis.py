@@ -94,8 +94,13 @@ def analyze(
     nranks: Optional[int] = None,
     fair_share_rate: Optional[float] = None,
     stripe_size: Optional[int] = None,
+    layout=None,
 ) -> AnalysisReport:
-    """Run the complete ensemble methodology over a trace."""
+    """Run the complete ensemble methodology over a trace.
+
+    ``layout`` (a :class:`~repro.iosys.striping.StripeLayout`) lets the
+    transient-fault check name the device as well as the time window.
+    """
     nranks = nranks if nranks is not None else (
         int(trace.ranks.max()) + 1 if len(trace) else 0
     )
@@ -134,6 +139,7 @@ def analyze(
         nranks=nranks,
         fair_share_rate=fair_share_rate,
         stripe_size=stripe_size,
+        layout=layout,
     )
     return report
 

@@ -20,6 +20,13 @@ expressed as a test over the trace's ensembles.
 - ``lln-opportunity``       Fig 2: few large transfers per task with high
                             spread -> splitting or aggregating transfers
                             will pull the worst case toward the mean.
+- ``transient-fault``       a contiguous time window in which events (on
+                            one device, when the file layout is supplied)
+                            run far slower than the surrounding run, or
+                            client RPC retries cluster -> storage health
+                            changed mid-run (stall, rebuild); localised in
+                            time and device via
+                            :func:`~repro.ensembles.locate.find_transient_faults`.
 """
 
 from __future__ import annotations
@@ -65,8 +72,15 @@ def diagnose(
     fair_share_rate: Optional[float] = None,
     stripe_size: Optional[int] = None,
     phase_prefix: Optional[str] = None,
+    layout=None,
 ) -> List[Finding]:
-    """Run every diagnostic over a trace; findings sorted by severity."""
+    """Run every diagnostic over a trace; findings sorted by severity.
+
+    ``layout`` (a :class:`~repro.iosys.striping.StripeLayout`, known to the
+    analyst because it is how the file was created) enables device-level
+    localisation of transient faults; without it the transient check still
+    runs, but reports the time window only.
+    """
     findings: List[Finding] = []
     nranks = nranks if nranks is not None else (
         int(trace.ranks.max()) + 1 if len(trace) else 0
@@ -85,6 +99,7 @@ def diagnose(
     if stripe_size:
         findings.extend(_check_alignment(trace, stripe_size))
     findings.extend(_check_lln(trace, nranks))
+    findings.extend(_check_transient_fault(trace, layout))
 
     findings.sort(key=lambda f: f.severity, reverse=True)
     return findings
@@ -368,6 +383,117 @@ def _check_alignment(trace: Trace, stripe_size: int) -> List[Finding]:
                 "cause extent-lock ping-pong and read-modify-write"
             ),
             evidence={"misaligned_fraction": frac},
+        )
+    ]
+
+
+def _check_transient_fault(trace: Trace, layout=None) -> List[Finding]:
+    """Storage health changed mid-run: a contiguous window of far-slower
+    events (and/or clustered client RPC retries), healthy on both sides.
+
+    With a layout the verdict names the device (via
+    :func:`~repro.ensembles.locate.find_transient_faults`); without one it
+    reports the window alone, from the time-clustering of slow events.
+    """
+    if layout is not None:
+        from .locate import find_transient_faults
+
+        suspects = find_transient_faults(trace, layout)
+        if not suspects:
+            return []
+        top = suspects[0]
+        sev = min(0.5 + 0.1 * np.log2(max(top.slowdown, 1.0)), 1.0)
+        if top.n_retries > 0:
+            sev = min(sev + 0.1, 1.0)
+        wall = trace.span or 1.0
+        return [
+            Finding(
+                code="transient-fault",
+                severity=float(sev),
+                message=(
+                    f"OST {top.ost} served {top.n_events} events "
+                    f"{top.slowdown:.0f}x slower than the pool during "
+                    f"[{top.t_start:.1f}s, {top.t_end:.1f}s] "
+                    f"({(top.t_end - top.t_start) / wall:.0%} of the run)"
+                    + (f"; {top.n_retries} RPC resends inside the window"
+                       if top.n_retries else "")
+                ),
+                recommendation=(
+                    "storage health changed mid-run (transient stall or "
+                    "degraded rebuild); check the device's controller logs "
+                    "for the reported window, and enable client "
+                    "retry/backoff so stuck RPCs re-drive quickly"
+                ),
+                evidence={
+                    "device": float(top.ost),
+                    "t_start": top.t_start,
+                    "t_end": top.t_end,
+                    "slowdown": top.slowdown,
+                    "n_events": float(top.n_events),
+                    "n_retries": float(top.n_retries),
+                },
+            )
+        ]
+
+    # no layout: time-only localisation from the slow-event cluster
+    data = trace.data_ops()
+    sizes = data.sizes.astype(float)
+    durations = data.durations
+    ok = (sizes > 0) & (durations > 0)
+    if ok.sum() < 16:
+        return []
+    per_byte = durations[ok] / sizes[ok]
+    starts, ends = data.starts[ok], data.ends[ok]
+    baseline = float(np.median(per_byte))
+    if baseline <= 0:
+        return []
+    slow = per_byte >= 4.0 * baseline
+    retries = trace.filter(ops=["retry"])
+    if slow.sum() < 3 and len(retries) == 0:
+        return []
+    lo_candidates = []
+    hi_candidates = []
+    if slow.sum() >= 3:
+        lo_candidates.append(float(starts[slow].min()))
+        hi_candidates.append(float(ends[slow].max()))
+    if len(retries):
+        lo_candidates.append(float(retries.starts.min()))
+        hi_candidates.append(float(retries.ends.max()))
+    if not lo_candidates:
+        return []
+    w0, w1 = min(lo_candidates), max(hi_candidates)
+    span = trace.span or 1.0
+    if (w1 - w0) >= 0.8 * span:
+        return []  # systemic, not transient
+    # healthy on both sides of the window?
+    outside = per_byte[(ends < w0) | (starts > w1)]
+    if len(outside) < 8 or np.median(outside) > 2.0 * baseline:
+        return []
+    slowdown = float(np.median(per_byte[slow]) / baseline) if slow.any() else 4.0
+    sev = min(0.5 + 0.1 * np.log2(max(slowdown, 1.0)), 1.0)
+    return [
+        Finding(
+            code="transient-fault",
+            severity=float(sev),
+            message=(
+                f"{int(slow.sum())} events ran {slowdown:.0f}x slower than "
+                f"the rest of the run during [{w0:.1f}s, {w1:.1f}s]"
+                + (f"; {len(retries)} ops re-drove RPCs inside the window"
+                   if len(retries) else "")
+            ),
+            recommendation=(
+                "storage health changed mid-run; re-run the analysis with "
+                "the file's stripe layout to name the device, and check "
+                "operator logs for the reported window"
+            ),
+            evidence={
+                "device": -1.0,
+                "t_start": w0,
+                "t_end": w1,
+                "slowdown": slowdown,
+                "n_events": float(slow.sum()),
+                "n_retries": float(len(retries)),
+            },
         )
     ]
 

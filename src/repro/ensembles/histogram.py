@@ -84,6 +84,12 @@ def linear_histogram(
 ) -> HistogramResult:
     """Plain linear-binned histogram (Figure 1c style)."""
     data = np.asarray(samples, dtype=float)
+    if range_ is None and data.size:
+        lo, hi = float(data.min()), float(data.max())
+        # a span below float resolution cannot be split into `bins`
+        # finite intervals; widen it the way numpy treats lo == hi
+        if lo + (hi - lo) / bins <= lo:
+            range_ = (lo - 0.5, hi + 0.5)
     counts, edges = np.histogram(data, bins=bins, range=range_)
     return HistogramResult(edges=edges, counts=counts, log_bins=False)
 

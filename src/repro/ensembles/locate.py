@@ -11,6 +11,13 @@ anonymous slow mode into a device indictment.
 This is "from events to ensembles" applied per device: the per-OST
 ensembles of a healthy pool are statistically indistinguishable; a sick
 OST's ensemble separates cleanly.
+
+:func:`find_slow_osts` indicts a device that is slow for the *whole* run
+(the static fault).  :func:`find_transient_faults` extends the idea along
+the time axis: a device that is only slow inside one contiguous window --
+and healthy on either side -- is a *transient* fault (a stall, a rebuild
+that finished), and the analysis reports the window as well as the
+device, so the verdict can be checked against operator logs.
 """
 
 from __future__ import annotations
@@ -20,11 +27,17 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..ipm.events import Trace
+from ..ipm.events import DATA_OPS, Trace
 from ..iosys.striping import StripeLayout
 from .distribution import EmpiricalDistribution
 
-__all__ = ["OstSuspect", "ost_ensembles", "find_slow_osts"]
+__all__ = [
+    "OstSuspect",
+    "TransientFault",
+    "ost_ensembles",
+    "find_slow_osts",
+    "find_transient_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -96,4 +109,142 @@ def find_slow_osts(
             )
         )
     out.sort(key=lambda s: s.slowdown, reverse=True)
+    return out
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """A device that was sick for one contiguous stretch of the run."""
+
+    ost: int
+    t_start: float
+    t_end: float
+    #: median per-byte service time of the in-window slow events over the
+    #: healthy pool median
+    slowdown: float
+    n_events: int
+    #: resend count inside the window (0 when the trace has no retry
+    #: meta-events; > 0 is direct evidence of a full stall)
+    n_retries: int = 0
+
+
+def find_transient_faults(
+    trace: Trace,
+    layout: StripeLayout,
+    ops: Tuple[str, ...] = DATA_OPS,
+    threshold: float = 4.0,
+    min_events: int = 3,
+    max_span_fraction: float = 0.8,
+) -> List[TransientFault]:
+    """Localise time-windowed device faults from the event ensemble.
+
+    Method: normalise every event to per-byte service time; events beyond
+    ``threshold`` x the pool median are *flagged*.  Flagged events are
+    attributed to every OST their extent touches.  A device is a transient
+    suspect when
+
+    - it collects at least ``min_events`` flagged events (``retry``
+      meta-events -- client RPC resends recorded when the fault layer
+      stalls an OST -- are direct evidence and count toward the floor),
+    - their hull [earliest start, latest end] covers less than
+      ``max_span_fraction`` of the trace (a device slow end-to-end is a
+      *static* suspect -- :func:`find_slow_osts`'s job),
+    - its in-window events are slow *relative to contemporaneous events
+      on other devices* (a pool-wide slow mode -- cache-miss bimodality,
+      a congested interconnect -- slows every device at once and is not
+      a device fault), and
+    - the device's events *outside* the hull look like the healthy pool
+      (median within ``threshold/2`` x pool median), so the fault really
+      switched off.
+    """
+    sub = trace.filter(ops=list(ops))
+    if len(sub) == 0:
+        return []
+    offsets, sizes = sub.offsets, sub.sizes
+    starts, ends = sub.starts, sub.ends
+    durations = sub.durations
+    ok = (sizes > 0) & (durations > 0)
+    if ok.sum() < max(2 * min_events, 8):
+        return []
+    per_byte = np.where(ok, durations / np.maximum(sizes, 1), np.nan)
+    pool_median = float(np.nanmedian(per_byte))
+    if not (pool_median > 0):
+        return []
+    flagged = ok & (per_byte >= threshold * pool_median)
+
+    # extent length of each data op, keyed by (rank, offset), so retry
+    # meta-events (whose ``size`` is the resend count) can be attributed
+    # to every OST the stalled op's extent touches
+    extent_of: Dict[Tuple[int, int], int] = {}
+    for rank, off, size in zip(sub.ranks, offsets, sizes):
+        extent_of[(int(rank), int(off))] = int(size)
+    retries = trace.filter(ops=["retry"])
+    retry_by_ost: Dict[int, int] = {}
+    retry_spans: Dict[int, List[Tuple[float, float]]] = {}
+    for r_rank, r_off, r_count, r_t0, r_dur in zip(
+        retries.ranks, retries.offsets, retries.sizes,
+        retries.starts, retries.durations,
+    ):
+        length = extent_of.get((int(r_rank), int(r_off)), 1)
+        for ost in layout.bytes_per_ost(int(r_off), max(length, 1)):
+            retry_by_ost[ost] = retry_by_ost.get(ost, 0) + int(r_count)
+            retry_spans.setdefault(ost, []).append(
+                (float(r_t0), float(r_t0 + r_dur))
+            )
+
+    span = float(trace.span) or 1.0
+    by_ost: Dict[int, List[int]] = {}
+    for i in np.nonzero(flagged)[0]:
+        for ost in layout.bytes_per_ost(int(offsets[i]), int(sizes[i])):
+            by_ost.setdefault(ost, []).append(int(i))
+
+    out: List[TransientFault] = []
+    for ost in sorted(set(by_ost) | set(retry_spans)):
+        idx = by_ost.get(ost, [])
+        n_retries = retry_by_ost.get(ost, 0)
+        if len(idx) + n_retries < min_events:
+            continue
+        hull = [(float(starts[i]), float(ends[i])) for i in idx]
+        hull += retry_spans.get(ost, [])
+        w0 = min(lo for lo, _ in hull)
+        w1 = max(hi for _, hi in hull)
+        if (w1 - w0) >= max_span_fraction * span:
+            continue  # sick the whole run: static, not transient
+        # slow relative to *contemporaneous* events on other devices?
+        # (a pool-wide slow mode slows every OST at once -- not a fault)
+        others: List[float] = []
+        for j in range(len(sub)):
+            if not ok[j] or ends[j] < w0 or starts[j] > w1:
+                continue
+            if ost not in layout.bytes_per_ost(int(offsets[j]), int(sizes[j])):
+                others.append(float(per_byte[j]))
+        if idx:
+            in_window = float(np.median(per_byte[np.asarray(idx)]))
+            if others and in_window < (threshold / 2.0) * np.median(others):
+                continue
+        # the device must look healthy outside the window
+        outside: List[float] = []
+        for j in range(len(sub)):
+            if not ok[j] or (starts[j] >= w0 and ends[j] <= w1):
+                continue
+            if ost in layout.bytes_per_ost(int(offsets[j]), int(sizes[j])):
+                outside.append(float(per_byte[j]))
+        if outside and np.median(outside) > (threshold / 2.0) * pool_median:
+            continue
+        slowdown = (
+            float(np.median(per_byte[np.asarray(idx)])) / pool_median
+            if idx
+            else float(threshold)
+        )
+        out.append(
+            TransientFault(
+                ost=ost,
+                t_start=w0,
+                t_end=w1,
+                slowdown=slowdown,
+                n_events=len(idx),
+                n_retries=n_retries,
+            )
+        )
+    out.sort(key=lambda f: (f.n_retries, f.slowdown), reverse=True)
     return out

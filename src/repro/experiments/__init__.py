@@ -7,7 +7,15 @@ Every module exposes ``run(scale=...) -> ExperimentResult`` and
     python -m repro.experiments small      # reduced scale
 """
 
-from . import fig1_ior_modes, fig2_lln, fig4_madbench, fig5_patch, fig6_gcrm, saturation
+from . import (
+    fig1_ior_modes,
+    fig2_lln,
+    fig4_madbench,
+    fig5_patch,
+    fig6_gcrm,
+    fig_faults,
+    saturation,
+)
 from .runner import SCALES, ExperimentResult, format_table
 
 ALL_EXPERIMENTS = {
@@ -17,6 +25,7 @@ ALL_EXPERIMENTS = {
     "fig5": fig5_patch,
     "fig6": fig6_gcrm,
     "saturation": saturation,
+    "faults": fig_faults,
 }
 
 __all__ = [
@@ -29,5 +38,6 @@ __all__ = [
     "fig4_madbench",
     "fig5_patch",
     "fig6_gcrm",
+    "fig_faults",
     "saturation",
 ]

@@ -2,6 +2,7 @@
 
 from .cache import PageCache
 from .client import FsArbiter, IoResult, LustreClient
+from .faults import DEGRADE, MDS_HICCUP, STALL, TAIL_BURST, FaultSchedule, FaultWindow
 from .locks import ExtentLockTracker
 from .machine import GiB, KiB, MachineConfig, MiB
 from .mds import MetadataServer
@@ -16,6 +17,12 @@ __all__ = [
     "IoResult",
     "LustreClient",
     "ExtentLockTracker",
+    "FaultSchedule",
+    "FaultWindow",
+    "DEGRADE",
+    "STALL",
+    "MDS_HICCUP",
+    "TAIL_BURST",
     "GiB",
     "KiB",
     "MachineConfig",

@@ -33,6 +33,18 @@ number of active clients per OST: both the probability that someone else
 owns the stripe and the queueing delay of the revocation round trip grow
 with the client count -- the mechanism behind GCRM's slow unaligned
 baseline.
+
+Fault recovery (the time-varying fault layer of ``iosys/faults.py``):
+every data op issues a synchronous RPC round (lock enqueue + bulk
+request) against its serving OSTs before bytes move.  If a scheduled
+``stall`` window covers one of them, that RPC is *lost* -- the recovering
+OST discards its request queue -- so the reply never comes and the client
+can only recover by timing out, aborting the stuck RPC
+(:class:`~repro.sim.engine.Interrupt` into the waiting process) and
+re-driving it.  ``MachineConfig.client_retry`` selects between the
+adaptive exponential-backoff resend and the stock client's fixed
+``rpc_resend_interval``; each abort/resend is counted as a retry event in
+the trace.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..sim.engine import Engine
+from ..sim.engine import Engine, Interrupt
 from ..sim.resources import Semaphore, SlotChannel
 from ..sim.rng import RngStreams
 from .cache import PageCache
@@ -65,6 +77,10 @@ class IoResult:
     degraded: bool = False
     readahead_window: int = 0
     penalty: float = 0.0
+    #: RPC resends forced by a stalled OST (0 on a healthy pool)
+    retries: int = 0
+    #: wallclock spent stuck behind the stall (waiting + backing off)
+    stall_wait: float = 0.0
 
 
 class FsArbiter:
@@ -161,6 +177,8 @@ class LustreClient:
         self._slots = config.tasks_per_node
         self.writes = 0
         self.reads = 0
+        #: RPC resends forced by stalled OSTs (fault-injection diagnostics)
+        self.retry_events = 0
 
     # -- discipline -------------------------------------------------------
     def _resample_discipline(self) -> None:
@@ -190,6 +208,47 @@ class LustreClient:
         self.channel.bandwidth = lane * active
         self.channel.set_slots(active)
 
+    # -- fault recovery ----------------------------------------------------
+    def _ride_out_stall(self, layout, offset: int, nbytes: int):
+        """Generator: recovery path for an op whose serving OST stalled.
+
+        The op's first RPC round was swallowed by the stalled device, so
+        the client waits ``config.retry_wait(attempt)``, aborts the stuck
+        RPC process (:class:`Interrupt`), and re-drives it -- repeatedly,
+        until a resend lands outside every stall window.  Returns
+        ``(resends, waited_seconds)``.
+        """
+        cfg = self.config
+        t0 = self.engine.now
+        attempt = 0
+        while True:
+            stall_end = self.osts.stall_until(
+                layout, offset, nbytes, self.engine.now
+            )
+            if stall_end is None:
+                break
+            rpc = self.engine.process(
+                self._lost_rpc(), name=f"rpc{self.node_id}"
+            )
+            yield self.engine.timeout(cfg.retry_wait(attempt))
+            rpc.interrupt("rpc-timeout")
+            attempt += 1
+        if attempt:
+            # the resend that got through pays the reconnect/replay trip
+            yield self.engine.timeout(cfg.stall_replay_latency)
+        self.retry_events += attempt
+        return attempt, self.engine.now - t0
+
+    def _lost_rpc(self):
+        """A bulk RPC swallowed by a stalled OST.  The reply never arrives
+        (a recovering OST discards its request queue), so the only way this
+        process ends is the issuing client aborting the wait."""
+        try:
+            yield self.engine.event()  # a reply that never comes
+        except Interrupt:
+            pass
+        return None
+
     # -- write path ------------------------------------------------------------
     def write(
         self, task, file, offset: int, nbytes: int, sync: bool = False
@@ -207,6 +266,13 @@ class LustreClient:
         yield self.engine.timeout(0.0)
         yield self.token.acquire()
         try:
+            retries, stall_wait = 0, 0.0
+            if self.osts.stall_until(
+                file.layout, offset, nbytes, self.engine.now
+            ) is not None:
+                retries, stall_wait = yield from self._ride_out_stall(
+                    file.layout, offset, nbytes
+                )
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count
             )
@@ -227,8 +293,12 @@ class LustreClient:
                 scale=contention,
                 full_stripe_discount=FULL_STRIPE_REVOKE_DISCOUNT,
             )
-            factor = self.osts.service_factor(f"node{self.node_id}/write")
-            factor *= self.osts.slow_factor(file.layout, offset, nbytes)
+            factor = self.osts.service_factor(
+                f"node{self.node_id}/write", now=self.engine.now
+            )
+            factor *= self.osts.slow_factor(
+                file.layout, offset, nbytes, now=self.engine.now
+            )
 
             remaining = nbytes
             while remaining > 0:
@@ -247,7 +317,12 @@ class LustreClient:
             self.token.release()
             self.arbiter.end(file.file_id, self.node_id)
         self.writes += 1
-        return IoResult(duration=self.engine.now - t0, penalty=penalty)
+        return IoResult(
+            duration=self.engine.now - t0,
+            penalty=penalty,
+            retries=retries,
+            stall_wait=stall_wait,
+        )
 
     def _schedule_writeback(self, task: int, nbytes: float) -> None:
         def _kick(_ev) -> None:
@@ -285,13 +360,24 @@ class LustreClient:
         )
         yield self.token.acquire()
         try:
+            retries, stall_wait = 0, 0.0
+            if self.osts.stall_until(
+                file.layout, offset, nbytes, self.engine.now
+            ) is not None:
+                retries, stall_wait = yield from self._ride_out_stall(
+                    file.layout, offset, nbytes
+                )
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count, read=True
             )
             self._tune_channel(share)
             penalty = self.osts.read_penalty(file.layout, offset, nbytes)
-            factor = self.osts.service_factor(f"node{self.node_id}/read")
-            factor *= self.osts.slow_factor(file.layout, offset, nbytes)
+            factor = self.osts.service_factor(
+                f"node{self.node_id}/read", now=self.engine.now
+            )
+            factor *= self.osts.slow_factor(
+                file.layout, offset, nbytes, now=self.engine.now
+            )
             remaining = nbytes
             while remaining > 0:
                 chunk = min(remaining, cfg.io_chunk)
@@ -320,6 +406,8 @@ class LustreClient:
             degraded=plan.degraded,
             readahead_window=plan.window,
             penalty=penalty,
+            retries=retries,
+            stall_wait=stall_wait,
         )
 
     # -- sync ------------------------------------------------------------------

@@ -1,0 +1,276 @@
+"""Time-varying fault injection: scheduled storage-health changes.
+
+The static ``MachineConfig.ost_slowdown`` models a device that is sick for
+a *whole* run.  Real diagnosis happens against storage whose health changes
+*during* a run -- a RAID rebuild that starts halfway through, an OST that
+stops responding for thirty seconds, a metadata server hiccup, a burst of
+heavy-tail service times while a neighbouring job thrashes the arrays.
+A :class:`FaultSchedule` is a deterministic, validated list of such
+time-windowed events:
+
+- ``degrade``  -- one OST serves ``factor`` x slower during the window
+  (a rebuild: the device still answers, just slowly);
+- ``stall``    -- one OST stops answering entirely during the window; bulk
+  RPCs issued against it are *lost* (the recovering OST drops its request
+  queue), so only a client resend after recovery succeeds -- this is what
+  the client's retry/backoff path (``MachineConfig.client_retry``) is for;
+- ``mds``      -- metadata operations take ``factor`` x longer during the
+  window (an MDS hiccup: lock recovery, failover heartbeat);
+- ``burst``    -- the heavy-tail probability of *all* bulk transfers is
+  multiplied by ``factor`` during the window (correlated tail events, the
+  run-to-run variability the paper's ensemble view sees through).
+
+Schedules are immutable, canonically ordered, and validated on
+construction (windows per device sorted and non-overlapping, factors
+>= 1), so two runs given equal schedules behave identically -- the
+property the golden-trace and hypothesis suites enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultWindow", "FaultSchedule", "DEGRADE", "STALL", "MDS_HICCUP", "TAIL_BURST"]
+
+DEGRADE = "degrade"
+STALL = "stall"
+MDS_HICCUP = "mds"
+TAIL_BURST = "burst"
+
+#: kinds that target one OST (``device`` required)
+_DEVICE_KINDS = (DEGRADE, STALL)
+#: kinds that affect the whole machine (``device`` must be None)
+_GLOBAL_KINDS = (MDS_HICCUP, TAIL_BURST)
+KINDS = _DEVICE_KINDS + _GLOBAL_KINDS
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled health event: ``kind`` on ``device`` during [t_start, t_end)."""
+
+    kind: str
+    t_start: float
+    t_end: float
+    device: Optional[int] = None
+    #: slowdown (degrade/mds) or tail-probability multiplier (burst);
+    #: unused for stall windows (a stalled OST has no service rate at all)
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use one of {KINDS}")
+        if not (self.t_end > self.t_start >= 0.0):
+            raise ValueError(
+                f"fault window must satisfy 0 <= t_start < t_end, "
+                f"got [{self.t_start}, {self.t_end})"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"fault factor must be >= 1, got {self.factor}")
+        if self.kind in _DEVICE_KINDS and self.device is None:
+            raise ValueError(f"{self.kind!r} fault needs a device (OST index)")
+        if self.kind in _GLOBAL_KINDS and self.device is not None:
+            raise ValueError(f"{self.kind!r} fault is machine-wide; device must be None")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def active_at(self, t: float) -> bool:
+        return self.t_start <= t < self.t_end
+
+    def overlaps(self, other: "FaultWindow") -> bool:
+        return self.t_start < other.t_end and other.t_start < self.t_end
+
+
+def _sort_key(w: FaultWindow) -> Tuple[float, str, int]:
+    return (w.t_start, w.kind, -1 if w.device is None else w.device)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, canonically ordered set of :class:`FaultWindow`.
+
+    Invariants (validated here, enforced again by the property suite):
+
+    - windows are sorted by ``(t_start, kind, device)``;
+    - windows of the same ``(kind, device)`` never overlap;
+    - every factor is >= 1.
+    """
+
+    windows: Tuple[FaultWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.windows, key=_sort_key))
+        object.__setattr__(self, "windows", ordered)
+        last_end: dict = {}
+        for w in ordered:
+            key = (w.kind, w.device)
+            if key in last_end and w.t_start < last_end[key]:
+                raise ValueError(
+                    f"overlapping {w.kind!r} windows on device {w.device}: "
+                    f"{w.t_start} < previous end {last_end[key]}"
+                )
+            last_end[key] = max(last_end.get(key, 0.0), w.t_end)
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def of(cls, *windows: FaultWindow) -> "FaultSchedule":
+        return cls(windows=tuple(windows))
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultSchedule":
+        """Parse compact CLI specs, one window per string::
+
+            degrade:OST:T0:T1:FACTOR   e.g.  degrade:5:10:60:6
+            stall:OST:T0:T1            e.g.  stall:5:10:25
+            mds:T0:T1:FACTOR           e.g.  mds:0:5:8
+            burst:T0:T1:FACTOR         e.g.  burst:30:60:16
+        """
+        windows: List[FaultWindow] = []
+        for spec in specs:
+            parts = spec.split(":")
+            kind = parts[0]
+            try:
+                if kind == DEGRADE:
+                    _, dev, t0, t1, factor = parts
+                    windows.append(FaultWindow(DEGRADE, float(t0), float(t1),
+                                               device=int(dev), factor=float(factor)))
+                elif kind == STALL:
+                    _, dev, t0, t1 = parts
+                    windows.append(FaultWindow(STALL, float(t0), float(t1),
+                                               device=int(dev)))
+                elif kind in _GLOBAL_KINDS:
+                    _, t0, t1, factor = parts
+                    windows.append(FaultWindow(kind, float(t0), float(t1),
+                                               factor=float(factor)))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except (ValueError, TypeError) as exc:
+                if "unknown fault kind" in str(exc) or "must" in str(exc):
+                    raise
+                raise ValueError(f"bad fault spec {spec!r}: {exc}") from exc
+        return cls(windows=tuple(windows))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_osts: int,
+        duration: float,
+        n_degrade: int = 2,
+        n_stall: int = 1,
+        n_mds: int = 0,
+        n_burst: int = 0,
+        max_window: float = 0.25,
+        max_factor: float = 8.0,
+    ) -> "FaultSchedule":
+        """A deterministic, seeded random schedule over ``[0, duration)``.
+
+        Identical ``(seed, parameters)`` always yield the identical
+        schedule (the generator state is derived from the seed alone).
+        Windows for one device are spread over disjoint slots so the
+        per-device non-overlap invariant holds by construction.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        rng = np.random.default_rng(np.random.SeedSequence([0xFA17, int(seed)]))
+        windows: List[FaultWindow] = []
+
+        def _window(kind: str, device: Optional[int], factor: float) -> None:
+            span = float(rng.uniform(0.02, max_window)) * duration
+            start = float(rng.uniform(0.0, max(duration - span, 1e-9)))
+            # nudge until it does not overlap a same-key window
+            existing = [w for w in windows
+                        if w.kind == kind and w.device == device]
+            for _ in range(32):
+                cand = FaultWindow(kind, start, start + span, device=device,
+                                   factor=factor)
+                if not any(cand.overlaps(w) for w in existing):
+                    windows.append(cand)
+                    return
+                start = float(rng.uniform(0.0, max(duration - span, 1e-9)))
+            # give up quietly: a dense schedule simply gets fewer windows
+
+        for _ in range(n_degrade):
+            _window(DEGRADE, int(rng.integers(n_osts)),
+                    float(rng.uniform(2.0, max_factor)))
+        for _ in range(n_stall):
+            _window(STALL, int(rng.integers(n_osts)), 1.0)
+        for _ in range(n_mds):
+            _window(MDS_HICCUP, None, float(rng.uniform(2.0, max_factor)))
+        for _ in range(n_burst):
+            _window(TAIL_BURST, None, float(rng.uniform(2.0, max_factor)))
+        return cls(windows=tuple(windows))
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.windows
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def validate_devices(self, n_osts: int) -> None:
+        """Raise if any device index is outside ``[0, n_osts)``."""
+        for w in self.windows:
+            if w.device is not None and not (0 <= w.device < n_osts):
+                raise ValueError(
+                    f"fault window device {w.device} out of range for "
+                    f"{n_osts} OSTs"
+                )
+
+    def degrade_factor(self, t: float, osts: Iterable[int]) -> float:
+        """Worst active degrade factor over the given OSTs at time ``t``
+        (1.0 when none).  A striped op completes at its slowest stripe's
+        pace, so the op inherits the max."""
+        if not self.windows:
+            return 1.0
+        devices = set(osts)
+        factor = 1.0
+        for w in self.windows:
+            if w.kind == DEGRADE and w.active_at(t) and w.device in devices:
+                factor = max(factor, w.factor)
+        return factor
+
+    def stall_end(self, t: float, osts: Iterable[int]) -> Optional[float]:
+        """End of the latest active stall window covering any of ``osts``
+        at time ``t``, or None when every serving device is answering."""
+        if not self.windows:
+            return None
+        devices = set(osts)
+        end: Optional[float] = None
+        for w in self.windows:
+            if w.kind == STALL and w.active_at(t) and w.device in devices:
+                end = w.t_end if end is None else max(end, w.t_end)
+        return end
+
+    def mds_factor(self, t: float) -> float:
+        """Metadata service-time multiplier at time ``t``."""
+        factor = 1.0
+        for w in self.windows:
+            if w.kind == MDS_HICCUP and w.active_at(t):
+                factor = max(factor, w.factor)
+        return factor
+
+    def tail_boost(self, t: float) -> float:
+        """Heavy-tail probability multiplier at time ``t``."""
+        boost = 1.0
+        for w in self.windows:
+            if w.kind == TAIL_BURST and w.active_at(t):
+                boost = max(boost, w.factor)
+        return boost
+
+    def for_device(self, device: int) -> Tuple[FaultWindow, ...]:
+        return tuple(w for w in self.windows if w.device == device)
+
+    def span(self) -> Tuple[float, float]:
+        """(earliest start, latest end) over all windows; (0, 0) if empty."""
+        if not self.windows:
+            return (0.0, 0.0)
+        return (
+            min(w.t_start for w in self.windows),
+            max(w.t_end for w in self.windows),
+        )

@@ -18,7 +18,9 @@ speedups); they are not claimed to be the machines' exact hardware values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
+
+from .faults import FaultSchedule
 
 __all__ = ["MachineConfig", "KiB", "MiB", "GiB"]
 
@@ -80,6 +82,31 @@ class MachineConfig:
     #: ("factors affecting performance include the load from other jobs on
     #: the HPC system").  Sampled quasi-statically at each op's start.
     background_load: Tuple[Tuple[float, float, float], ...] = ()
+    #: scheduled time-varying faults (OST degradation windows, transient
+    #: full-OST stalls, MDS hiccups, heavy-tail bursts); None = healthy.
+    #: Degradation is sampled quasi-statically at each op's start; a stall
+    #: makes bulk RPCs issued against the device *lost* until its window
+    #: ends (see ``client_retry`` below for the recovery path).
+    faults: Optional[FaultSchedule] = None
+
+    # -- client retry / recovery -------------------------------------------------
+    #: master switch for the adaptive retry path: on timeout the client
+    #: aborts the stuck RPC (sim-kernel Interrupt) and re-issues it with
+    #: exponential backoff.  When False the stock client re-drives a lost
+    #: RPC only every ``rpc_resend_interval`` seconds (the conservative
+    #: Lustre default), so a transient stall costs far more wallclock.
+    client_retry: bool = False
+    #: first retry timeout (seconds); doubles each attempt up to the cap
+    retry_base_timeout: float = 1.0
+    #: multiplicative backoff per failed attempt
+    retry_backoff: float = 2.0
+    #: ceiling on the per-attempt timeout
+    retry_max_timeout: float = 16.0
+    #: resend period of the non-adaptive client (client_retry=False)
+    rpc_resend_interval: float = 60.0
+    #: reconnect/replay round trip paid by the first resend that succeeds
+    #: after a stall clears
+    stall_replay_latency: float = 50e-3
 
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
@@ -134,6 +161,29 @@ class MachineConfig:
                 raise ValueError("background_load interval must have t1 > t0")
             if not (0.0 <= frac < 1.0):
                 raise ValueError("background_load fraction must be in [0, 1)")
+        if self.faults is not None:
+            self.faults.validate_devices(self.n_osts)
+        if self.retry_base_timeout <= 0 or self.rpc_resend_interval <= 0:
+            raise ValueError("retry timeouts must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.retry_max_timeout < self.retry_base_timeout:
+            raise ValueError("retry_max_timeout must be >= retry_base_timeout")
+
+    def retry_wait(self, attempt: int) -> float:
+        """How long the client waits before re-driving a lost RPC.
+
+        ``attempt`` counts failed resends so far.  The adaptive path backs
+        off exponentially from ``retry_base_timeout`` up to
+        ``retry_max_timeout``; the stock client uses the fixed
+        ``rpc_resend_interval`` regardless of attempt.
+        """
+        if not self.client_retry:
+            return self.rpc_resend_interval
+        return min(
+            self.retry_base_timeout * self.retry_backoff ** attempt,
+            self.retry_max_timeout,
+        )
 
     def available_fraction(self, t: float) -> float:
         """Fraction of the file system's bandwidth available at time t

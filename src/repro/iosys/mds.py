@@ -58,6 +58,10 @@ class MetadataServer:
         factor = self.OP_COST[op] * self.rng.lognormal_factor(
             "mds/noise", self.config.noise_sigma
         )
+        # scheduled MDS hiccup window: every namespace op stretches while
+        # the server is busy with lock recovery / failover heartbeats
+        if self.config.faults is not None:
+            factor *= self.config.faults.mds_factor(self.engine.now)
         return self._server.request(0.0, factor=factor)
 
     @property

@@ -12,7 +12,7 @@ OST pool's job is the *latency/penalty* side of the model plus accounting:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -83,27 +83,62 @@ class OstPool:
             self.rpcs[osts[i % len(osts)]] += 1
 
     # -- fault injection ------------------------------------------------------
-    def slow_factor(self, layout: StripeLayout, offset: int, length: int) -> float:
+    def slow_factor(
+        self,
+        layout: StripeLayout,
+        offset: int,
+        length: int,
+        now: Optional[float] = None,
+    ) -> float:
         """Service-time multiplier from injected per-OST slowdowns.
 
         A striped transfer completes when its slowest stripe completes, so
         the op inherits the worst slowdown among the OSTs it touches.
+        Combines the static ``ost_slowdown`` map with any scheduled
+        ``degrade`` fault window active at ``now`` (quasi-static: sampled
+        once at the op's start, like the bandwidth shares).
         """
-        slow = self.config.ost_slowdown
-        if not slow or length <= 0:
+        cfg = self.config
+        if length <= 0:
+            return 1.0
+        if not cfg.ost_slowdown and cfg.faults is None:
             return 1.0
         touched = layout.bytes_per_ost(offset, length)
-        return max((slow.get(ost, 1.0) for ost in touched), default=1.0)
+        slow = cfg.ost_slowdown
+        factor = max((slow.get(ost, 1.0) for ost in touched), default=1.0)
+        if cfg.faults is not None and now is not None:
+            factor = max(factor, cfg.faults.degrade_factor(now, touched))
+        return factor
+
+    def stall_until(
+        self,
+        layout: StripeLayout,
+        offset: int,
+        length: int,
+        now: float,
+    ) -> Optional[float]:
+        """End time of the stall covering any OST this extent touches at
+        ``now``, or None when every serving device is answering."""
+        sched = self.config.faults
+        if sched is None or sched.is_empty or length <= 0:
+            return None
+        touched = layout.bytes_per_ost(offset, length)
+        return sched.stall_end(now, touched)
 
     # -- stochastic service factors ----------------------------------------
-    def service_factor(self, stream: str) -> float:
+    def service_factor(self, stream: str, now: Optional[float] = None) -> float:
         """Multiplicative noise for one bulk transfer: lognormal body plus a
-        rare uniform heavy tail."""
+        rare uniform heavy tail.  A scheduled ``burst`` fault window active
+        at ``now`` multiplies the tail probability (correlated tail events
+        while a neighbouring job thrashes the arrays)."""
         cfg = self.config
         factor = self.rng.lognormal_factor(stream, cfg.noise_sigma)
-        if cfg.tail_prob > 0:
+        tail_prob = cfg.tail_prob
+        if cfg.faults is not None and now is not None:
+            tail_prob = min(tail_prob * cfg.faults.tail_boost(now), 1.0)
+        if tail_prob > 0:
             u = self.rng.stream(stream + "/tail").uniform()
-            if u < cfg.tail_prob:
+            if u < tail_prob:
                 factor *= self.rng.uniform(
                     stream + "/tailf", 1.0, cfg.tail_factor
                 )

@@ -160,6 +160,11 @@ class IoSystem:
     def total_bytes_read(self) -> float:
         return float(self.osts.bytes_read.sum())
 
+    def total_retries(self) -> int:
+        """RPC resends forced by stalled OSTs, summed over every node's
+        client (0 on a healthy pool -- the fault layer's visible cost)."""
+        return sum(c.retry_events for c in self._clients.values())
+
 
 class PosixIo:
     """One task's libc-level I/O interface (all methods are generators)."""

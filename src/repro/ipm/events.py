@@ -175,6 +175,14 @@ class Trace:
         return self.starts + self.durations
 
     @property
+    def paths(self) -> np.ndarray:
+        return np.asarray(self._path, dtype=object)
+
+    @property
+    def fds(self) -> np.ndarray:
+        return np.asarray(self._fd, dtype=np.int64)
+
+    @property
     def phases(self) -> np.ndarray:
         return np.asarray(self._phase, dtype=object)
 
@@ -243,7 +251,13 @@ class Trace:
     # -- summaries ------------------------------------------------------------
     @property
     def total_bytes(self) -> int:
-        return int(self.sizes.sum()) if len(self) else 0
+        """Bytes moved by data ops.  Non-data events reuse the ``size``
+        column for other payloads (``retry`` stores the resend count), so
+        the sum is restricted to reads and writes."""
+        if not len(self):
+            return 0
+        sub = self.data_ops()
+        return int(sub.sizes.sum()) if len(sub) else 0
 
     @property
     def t_first(self) -> float:

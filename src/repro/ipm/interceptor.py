@@ -244,3 +244,20 @@ class IpmIo:
             self.engine.now - t0,
             degraded=getattr(res, "degraded", False),
         )
+        retries = getattr(res, "retries", 0)
+        if retries:
+            # A synthetic meta-event per data op that had to re-drive lost
+            # RPCs behind a stalled OST: ``size`` holds the resend count
+            # and ``duration`` the wallclock spent stuck (waiting plus
+            # backoff), spanning the op's stall from its start.  Not a
+            # data op, so byte accounting is untouched.
+            self._collector.record(
+                self.rank,
+                "retry",
+                self._fd_table.get(fd, "?"),
+                fd,
+                offset,
+                retries,
+                t0,
+                getattr(res, "stall_wait", 0.0),
+            )

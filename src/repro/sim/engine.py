@@ -13,7 +13,14 @@ advances simulated time by yielding *waitables*:
 
 The engine is deterministic: ties in simulated time are broken by a
 monotonically increasing sequence number, so two runs with the same seeds
-produce identical traces.
+produce identical traces.  (This claim is enforced: the golden-trace
+suite in ``tests/test_golden_traces.py`` hashes canonicalised event
+streams of fixed-seed scenarios against committed digests.)
+
+A process may abandon whatever another process is waiting on by calling
+:meth:`Process.interrupt`, which throws :class:`Interrupt` into it -- the
+client's RPC retry path uses this to abort a bulk RPC stuck behind a
+stalled storage target and re-issue it with backoff.
 """
 
 from __future__ import annotations
@@ -145,7 +152,16 @@ class Process(Event):
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting an already-finished process is a no-op; interrupting
+        yourself is a protocol violation (the generator is currently
+        executing and cannot have an exception thrown into it).
+        """
+        if self.engine._active_process is self:
+            raise SimulationError(
+                f"process {self.name!r} cannot interrupt itself"
+            )
         if self._triggered:
             return
         target = self._waiting_on
@@ -278,6 +294,12 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_until(self, at: float, value: Any = None) -> Timeout:
+        """A timeout firing at *absolute* simulated time ``at`` (clamped to
+        now if the instant has already passed) -- the natural waitable for
+        scheduled occurrences like fault-window ends."""
+        return Timeout(self, max(at - self.now, 0.0), value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)

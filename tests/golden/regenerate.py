@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden-trace digests.
+
+Run from the repository root whenever a change is *intended* to alter
+simulated behaviour, and commit the refreshed JSON with that change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The scenarios and the canonicalisation live in
+``tests/test_golden_traces.py`` -- this script only invokes them, so the
+regenerated files and the regression test can never disagree about the
+format.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_golden_traces import regenerate  # noqa: E402
+
+
+def main() -> int:
+    for name, d in regenerate().items():
+        print(f"{name}: {d['n_events']} events, sha256 {d['sha256'][:16]}...")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

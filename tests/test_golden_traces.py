@@ -1,0 +1,176 @@
+"""Golden-trace regression harness.
+
+Three small fixed-seed scenarios run end-to-end through the simulator and
+tracer; the canonicalised event stream is hashed and compared against the
+digests committed in ``tests/golden/*.json``.  Any change to simulator
+timing, event ordering, RNG draws, or trace schema shows up as a digest
+mismatch here *before* it silently shifts every figure.
+
+Floats are canonicalised with ``float.hex`` (exact, locale-free), so the
+digest is byte-stable across platforms that agree on IEEE-754 doubles.
+
+If a change is *intended* to alter simulated behaviour, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the refreshed JSON together with the change that explains it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.harness import SimJob
+from repro.apps.ior import IorConfig, run_ior
+from repro.apps.madbench import MadbenchConfig, run_madbench
+from repro.iosys.faults import STALL, FaultSchedule, FaultWindow
+from repro.iosys.machine import MachineConfig, MiB
+from repro.iosys.posix import O_CREAT, O_RDWR
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FORMAT = 1
+
+
+# -- canonicalisation ----------------------------------------------------------
+
+def canonical_lines(trace) -> list:
+    """One exact, order-preserving text line per event."""
+    lines = []
+    for rank, op, path, fd, offset, size, t0, dur, phase, deg in zip(
+        trace.ranks, trace.ops, trace.paths, trace.fds, trace.offsets,
+        trace.sizes, trace.starts, trace.durations, trace.phases,
+        trace.degraded_flags,
+    ):
+        lines.append(
+            f"{int(rank)}|{op}|{path}|{int(fd)}|{int(offset)}|{int(size)}|"
+            f"{float(t0).hex()}|{float(dur).hex()}|{phase}|{int(deg)}"
+        )
+    return lines
+
+
+def digest(result) -> dict:
+    lines = canonical_lines(result.trace)
+    sha = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    return {
+        "format": FORMAT,
+        "n_events": len(lines),
+        "total_bytes": int(result.total_bytes),
+        "elapsed_hex": float(result.elapsed).hex(),
+        "sha256": sha,
+        # head/tail samples so a mismatch is debuggable from the diff alone
+        "first_event": lines[0] if lines else "",
+        "last_event": lines[-1] if lines else "",
+    }
+
+
+# -- the three scenarios -------------------------------------------------------
+
+def _scenario_ior_write():
+    """IOR-style striped shared-file write, two repetitions."""
+    machine = MachineConfig.testbox(n_osts=8)
+    cfg = IorConfig(
+        ntasks=8,
+        block_size=4 * MiB,
+        transfer_size=1 * MiB,
+        repetitions=2,
+        stripe_count=8,
+        machine=machine,
+        seed=11,
+    )
+    return run_ior(cfg)
+
+
+def _scenario_madbench_read():
+    """MADbench-style out-of-core matrix traffic, write then read back."""
+    machine = MachineConfig.testbox(n_osts=8)
+    cfg = MadbenchConfig(
+        ntasks=4,
+        n_matrices=3,
+        matrix_bytes=2 * MiB - 51 * 1024,
+        stripe_count=8,
+        machine=machine,
+        seed=12,
+    )
+    return run_madbench(cfg)
+
+
+def _scenario_slow_ost_stall():
+    """Shared-file records against a statically slow OST plus a scheduled
+    transient stall, with the client retry/backoff path enabled -- locks
+    the fault-injection and recovery subsystem into the golden digest."""
+    machine = MachineConfig.testbox(
+        n_osts=16,
+        fs_bw=2048 * MiB,
+        discipline_weights={4: 1.0},
+        ost_slowdown={3: 4.0},
+    ).with_overrides(
+        faults=FaultSchedule.of(FaultWindow(STALL, 0.3, 0.9, device=5)),
+        client_retry=True,
+    )
+
+    def writer(ctx, nrec, path):
+        if ctx.rank == 0 and ctx.iosys.lookup(path) is None:
+            ctx.iosys.set_stripe_count(path, ctx.machine.n_osts)
+            fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.comm.barrier()
+            fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+        base = ctx.rank * nrec * MiB
+        for j in range(nrec):
+            yield from ctx.io.pwrite(fd, MiB, base + j * MiB)
+        yield from ctx.io.close(fd)
+        return None
+
+    job = SimJob(machine, 8, seed=13, placement="packed")
+    return job.run(writer, 60, "/scratch/golden.dat")
+
+
+SCENARIOS = {
+    "ior_write": _scenario_ior_write,
+    "madbench_read": _scenario_madbench_read,
+    "slow_ost_stall": _scenario_slow_ost_stall,
+}
+
+
+def regenerate() -> dict:
+    """Recompute and write every golden file; returns the digests."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    out = {}
+    for name, fn in SCENARIOS.items():
+        d = digest(fn())
+        (GOLDEN_DIR / f"{name}.json").write_text(
+            json.dumps(d, indent=2, sort_keys=True) + "\n"
+        )
+        out[name] = d
+    return out
+
+
+# -- the regression tests ------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_golden(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; run "
+        f"PYTHONPATH=src python tests/golden/regenerate.py and commit it"
+    )
+    golden = json.loads(golden_path.read_text())
+    got = digest(SCENARIOS[name]())
+    assert got == golden, (
+        f"{name}: simulated behaviour changed.  If intended, regenerate "
+        f"the goldens and commit them with the change."
+    )
+
+
+def test_back_to_back_runs_are_byte_identical():
+    """Two fresh runs of the same scenario in one process must produce
+    byte-identical canonical streams (no hidden global state)."""
+    name = "slow_ost_stall"
+    a = digest(SCENARIOS[name]())
+    b = digest(SCENARIOS[name]())
+    assert a == b
