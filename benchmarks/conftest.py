@@ -10,11 +10,22 @@ measurement and a reproduction check.
 
 Simulations are deterministic and expensive relative to micro-benchmarks,
 so benchmarks run with one round/one iteration via ``run_once``.
+
+Each benchmark module additionally leaves a machine-readable record at
+``benchmarks/results/BENCH_<name>.json`` (timing stats + the attached
+``extra_info`` series); the committed copies are the review baseline.
+Smoke runs (``--benchmark-disable``) produce no timings and rewrite no
+baselines.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture
@@ -26,3 +37,41 @@ def run_once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return _run
+
+
+def _stats(bench):
+    # absent or unpopulated under --benchmark-disable / --benchmark-skip
+    try:
+        stats = bench.stats
+        return {
+            key: float(getattr(stats, key))
+            for key in ("min", "max", "mean", "stddev", "median")
+        } | {"rounds": int(stats.rounds)}
+    except Exception:
+        return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bsession = getattr(session.config, "_benchmarksession", None)
+    if bsession is None:
+        return
+    by_module = {}
+    for bench in getattr(bsession, "benchmarks", []):
+        module = Path(str(bench.fullname).split("::")[0]).stem
+        by_module.setdefault(module, []).append(
+            {
+                "benchmark": bench.name,
+                "fullname": bench.fullname,
+                "stats": _stats(bench),
+                "extra_info": dict(bench.extra_info),
+            }
+        )
+    if not by_module:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, records in sorted(by_module.items()):
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(records, indent=2, sort_keys=True) + "\n"
+        )

@@ -64,15 +64,21 @@ class SimJob:
         placement: str = "packed",
         faults: Optional[FaultSchedule] = None,
         client_retry: Optional[bool] = None,
+        replica_count: Optional[int] = None,
+        client_failover: Optional[bool] = None,
     ):
-        # fault-injection conveniences: the schedule and the retry switch
-        # live on the machine config, but a job frequently wants to ablate
-        # them without rebuilding the whole config
+        # fault-injection conveniences: the schedule, the retry switch and
+        # the replication knobs live on the machine config, but a job
+        # frequently wants to ablate them without rebuilding the config
         overrides = {}
         if faults is not None:
             overrides["faults"] = faults
         if client_retry is not None:
             overrides["client_retry"] = client_retry
+        if replica_count is not None:
+            overrides["replica_count"] = replica_count
+        if client_failover is not None:
+            overrides["client_failover"] = client_failover
         if overrides:
             machine = machine.with_overrides(**overrides)
         self.machine = machine
@@ -119,5 +125,8 @@ class SimJob:
             per_rank=per_rank,
             iosys=self.iosys,
             collector=self.collector,
-            meta={"retries": self.iosys.total_retries()},
+            meta={
+                "retries": self.iosys.total_retries(),
+                "failovers": self.iosys.total_failovers(),
+            },
         )

@@ -13,8 +13,9 @@
 persist the trace (``--save run.npz``) for later ``analyze``.
 
 Every ``run-*`` command accepts ``--fault SPEC`` (repeatable) to inject
-time-windowed storage faults, and ``--retry`` to enable the client's
-RPC retry/backoff path.  Specs::
+time-windowed storage faults, ``--retry`` to enable the client's RPC
+retry/backoff path, and ``--replicate K`` to mirror every stripe on K
+distinct OSTs with client-side failover.  Specs::
 
     degrade:OST:T0:T1:FACTOR   OST serves FACTORx slower in [T0, T1)
     stall:OST:T0:T1            OST drops requests in [T0, T1)
@@ -66,6 +67,15 @@ def _machine(name: str, args=None) -> MachineConfig:
             raise SystemExit(f"bad --fault spec: {exc}")
     if getattr(args, "retry", False):
         overrides["client_retry"] = True
+    replicate = getattr(args, "replicate", None)
+    if replicate is not None:
+        if not 1 <= replicate <= machine.n_osts:
+            raise SystemExit(
+                f"bad --replicate count: {replicate} not in "
+                f"[1, {machine.n_osts}] (machine has {machine.n_osts} OSTs; "
+                f"every copy needs its own device)"
+            )
+        overrides["replica_count"] = replicate
     return machine.with_overrides(**overrides) if overrides else machine
 
 
@@ -81,6 +91,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "grammar in the module help")
     p.add_argument("--retry", action="store_true",
                    help="enable client RPC retry/backoff under stalls")
+    p.add_argument("--replicate", type=int, metavar="K",
+                   help="mirror every stripe on K distinct OSTs; the "
+                        "client fails reads over to a surviving copy "
+                        "when the primary stalls")
 
 
 def _finish(result, ntasks: int, args) -> None:

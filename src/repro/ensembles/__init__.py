@@ -11,7 +11,15 @@ from .histogram import (
     rate_histogram,
 )
 from .lln import LlnPrediction, narrowing_report, per_task_totals, predict_sum
-from .locate import OstSuspect, find_slow_osts, ost_ensembles
+from .locate import (
+    MaskedFault,
+    OstSuspect,
+    TransientFault,
+    find_masked_faults,
+    find_slow_osts,
+    find_transient_faults,
+    ost_ensembles,
+)
 from .modes import HarmonicStructure, Mode, detect_modes, harmonics
 from .plots import plot_cdfs, plot_curve, plot_histogram, plot_rate_curve
 from .order_stats import (
@@ -44,7 +52,11 @@ __all__ = [
     "log_histogram",
     "rate_histogram",
     "OstSuspect",
+    "TransientFault",
+    "MaskedFault",
     "find_slow_osts",
+    "find_transient_faults",
+    "find_masked_faults",
     "ost_ensembles",
     "LlnPrediction",
     "narrowing_report",

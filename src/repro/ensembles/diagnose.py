@@ -27,6 +27,13 @@ expressed as a test over the trace's ensembles.
                             changed mid-run (stall, rebuild); localised in
                             time and device via
                             :func:`~repro.ensembles.locate.find_transient_faults`.
+- ``failover-masked-fault`` clustered ``failover`` meta-events -> a device
+                            went dark but replica failover absorbed the
+                            tail; the finding names the sick device (via
+                            :func:`~repro.ensembles.locate.find_masked_faults`
+                            when the layout is supplied) and the stall
+                            time the steering averted, so the fault is
+                            repaired *before* it ever costs a run.
 """
 
 from __future__ import annotations
@@ -100,6 +107,7 @@ def diagnose(
         findings.extend(_check_alignment(trace, stripe_size))
     findings.extend(_check_lln(trace, nranks))
     findings.extend(_check_transient_fault(trace, layout))
+    findings.extend(_check_failover_mask(trace, layout))
 
     findings.sort(key=lambda f: f.severity, reverse=True)
     return findings
@@ -493,6 +501,85 @@ def _check_transient_fault(trace: Trace, layout=None) -> List[Finding]:
                 "slowdown": slowdown,
                 "n_events": float(slow.sum()),
                 "n_retries": float(len(retries)),
+            },
+        )
+    ]
+
+
+def _check_failover_mask(trace: Trace, layout=None) -> List[Finding]:
+    """A device went dark mid-run but client-side replica failover
+    absorbed the cost: the evidence is not slow events (there are none --
+    that is the point) but the ``failover`` meta-events the steering left
+    behind, each carrying the stall time it averted.
+
+    With a layout the verdict names the device the clients routed around
+    (:func:`~repro.ensembles.locate.find_masked_faults`); without one it
+    reports the failover window alone.  Severity stays moderate: the
+    fault was *masked*, so this is a repair ticket, not a post-mortem.
+    """
+    fos = trace.filter(ops=["failover"])
+    if len(fos) == 0:
+        return []
+    wall = trace.span or 1.0
+    if layout is not None:
+        from .locate import find_masked_faults
+
+        masked = find_masked_faults(trace, layout)
+        if not masked:
+            return []
+        top = masked[0]
+        sev = min(0.3 + 0.5 * (top.masked_time / wall), 0.8)
+        return [
+            Finding(
+                code="failover-masked-fault",
+                severity=float(sev),
+                message=(
+                    f"OST {top.ost} went unreachable during "
+                    f"[{top.t_start:.1f}s, {top.t_end:.1f}s] but "
+                    f"{top.n_events} ops failed over to replica copies, "
+                    f"averting up to {top.masked_time:.1f}s of stall per op"
+                ),
+                recommendation=(
+                    "replication hid this fault from run time, but the "
+                    "skipped copies are stale and redundancy is reduced; "
+                    "check the device and resync its mirrors before the "
+                    "next fault lands on the surviving copy"
+                ),
+                evidence={
+                    "device": float(top.ost),
+                    "t_start": top.t_start,
+                    "t_end": top.t_end,
+                    "masked_time": top.masked_time,
+                    "n_events": float(top.n_events),
+                    "n_failovers": float(top.n_failovers),
+                },
+            )
+        ]
+    # no layout: report the failover window from the meta-events alone
+    w0 = float(fos.starts.min())
+    w1 = float(fos.ends.max())
+    worst = float(fos.durations.max())
+    sev = min(0.3 + 0.5 * (worst / wall), 0.8)
+    return [
+        Finding(
+            code="failover-masked-fault",
+            severity=float(sev),
+            message=(
+                f"{len(fos)} ops failed over to replica copies during "
+                f"[{w0:.1f}s, {w1:.1f}s], averting up to {worst:.1f}s of "
+                f"stall per op"
+            ),
+            recommendation=(
+                "a device went dark but replication absorbed it; re-run "
+                "the analysis with the file's stripe layout to name the "
+                "device, then resync its mirrors"
+            ),
+            evidence={
+                "device": -1.0,
+                "t_start": w0,
+                "t_end": w1,
+                "masked_time": worst,
+                "n_events": float(len(fos)),
             },
         )
     ]

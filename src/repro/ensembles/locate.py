@@ -34,9 +34,11 @@ from .distribution import EmpiricalDistribution
 __all__ = [
     "OstSuspect",
     "TransientFault",
+    "MaskedFault",
     "ost_ensembles",
     "find_slow_osts",
     "find_transient_faults",
+    "find_masked_faults",
 ]
 
 
@@ -247,4 +249,90 @@ def find_transient_faults(
             )
         )
     out.sort(key=lambda f: (f.n_retries, f.slowdown), reverse=True)
+    return out
+
+
+@dataclass(frozen=True)
+class MaskedFault:
+    """A sick device whose tail cost replica failover absorbed.
+
+    The dual of :class:`TransientFault`: with client-side failover the
+    stalled OST never shows up as slow events -- the damage was *averted*,
+    not suffered.  The evidence is the trace's ``failover`` meta-events,
+    each recording how many copies an op steered around (``size``) and
+    the stall time the steer saved (``duration``).  Attributing them to
+    the failing op's **primary** extent placement names the device the
+    clients were routing around.
+    """
+
+    ost: int
+    #: data ops that steered around this device
+    n_events: int
+    #: replica copies bypassed in total (>= n_events)
+    n_failovers: int
+    #: the largest single averted stall window (seconds) -- the tail time
+    #: one ride-out on this device would have cost
+    masked_time: float
+    t_start: float
+    t_end: float
+
+
+def find_masked_faults(
+    trace: Trace,
+    layout: StripeLayout,
+    min_events: int = 1,
+) -> List[MaskedFault]:
+    """Localise the devices that client failover steered around.
+
+    Each ``failover`` meta-event shares (rank, offset) with the data op it
+    annotates, so the op's extent length is recoverable from the data
+    stream and the event maps -- through the *primary* layout, the copy
+    the client abandoned -- onto the OSTs it was routed away from.
+    Devices collecting at least ``min_events`` such events are reported,
+    worst averted stall first.
+
+    Overlapping ops all observe the same remaining stall window, so the
+    per-device masked time is the *maximum* averted duration, not a sum
+    (a sum would count one window once per bypassing op).
+    """
+    fos = trace.filter(ops=["failover"])
+    if len(fos) == 0:
+        return []
+    sub = trace.data_ops()
+    extent_of: Dict[Tuple[int, int], int] = {}
+    for rank, off, size in zip(sub.ranks, sub.offsets, sub.sizes):
+        extent_of[(int(rank), int(off))] = int(size)
+
+    n_events: Dict[int, int] = {}
+    n_failovers: Dict[int, int] = {}
+    masked: Dict[int, float] = {}
+    spans: Dict[int, List[Tuple[float, float]]] = {}
+    for f_rank, f_off, f_count, f_t0, f_dur in zip(
+        fos.ranks, fos.offsets, fos.sizes, fos.starts, fos.durations
+    ):
+        length = extent_of.get((int(f_rank), int(f_off)), 1)
+        for ost in layout.bytes_per_ost(int(f_off), max(length, 1)):
+            n_events[ost] = n_events.get(ost, 0) + 1
+            n_failovers[ost] = n_failovers.get(ost, 0) + int(f_count)
+            masked[ost] = max(masked.get(ost, 0.0), float(f_dur))
+            spans.setdefault(ost, []).append(
+                (float(f_t0), float(f_t0 + f_dur))
+            )
+
+    out: List[MaskedFault] = []
+    for ost, count in n_events.items():
+        if count < min_events:
+            continue
+        hull = spans[ost]
+        out.append(
+            MaskedFault(
+                ost=ost,
+                n_events=count,
+                n_failovers=n_failovers[ost],
+                masked_time=masked[ost],
+                t_start=min(lo for lo, _ in hull),
+                t_end=max(hi for _, hi in hull),
+            )
+        )
+    out.sort(key=lambda f: (f.masked_time, f.n_events), reverse=True)
     return out

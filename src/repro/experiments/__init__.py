@@ -13,6 +13,7 @@ from . import (
     fig4_madbench,
     fig5_patch,
     fig6_gcrm,
+    fig_failover,
     fig_faults,
     saturation,
 )
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "fig6": fig6_gcrm,
     "saturation": saturation,
     "faults": fig_faults,
+    "failover": fig_failover,
 }
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "fig4_madbench",
     "fig5_patch",
     "fig6_gcrm",
+    "fig_failover",
     "fig_faults",
     "saturation",
 ]

@@ -9,6 +9,7 @@ from .mds import MetadataServer
 from .ost import OstPool
 from .posix import O_CREAT, O_RDONLY, O_RDWR, O_SYNC, O_WRONLY, IoSystem, PosixIo, SimFile
 from .readahead import ReadAheadEngine, ReadPlan, StreamState
+from .replication import ReplicatedLayout
 from .striping import Extent, StripeLayout
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "ReadAheadEngine",
     "ReadPlan",
     "StreamState",
+    "ReplicatedLayout",
     "Extent",
     "StripeLayout",
 ]

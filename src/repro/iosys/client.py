@@ -45,6 +45,15 @@ re-driving it.  ``MachineConfig.client_retry`` selects between the
 adaptive exponential-backoff resend and the stock client's fixed
 ``rpc_resend_interval``; each abort/resend is counted as a retry event in
 the trace.
+
+Replica failover (``iosys/replication.py``): when the file carries a
+:class:`~repro.iosys.replication.ReplicatedLayout` and
+``MachineConfig.client_failover`` is on, a stalled OST costs one
+detection timeout instead of the stall window -- the client distrusts the
+device until the next probe and steers reads at a surviving copy
+(paying the degraded-read reconstruction surcharge) while writes skip
+the dead copy and mark it stale.  Each steered op is counted as a
+failover event in the trace, carrying the stall time the steer averted.
 """
 
 from __future__ import annotations
@@ -81,6 +90,15 @@ class IoResult:
     retries: int = 0
     #: wallclock spent stuck behind the stall (waiting + backing off)
     stall_wait: float = 0.0
+    #: replica copies this op steered around instead of re-driving (reads:
+    #: 1 when served by a non-primary copy; writes: copies marked stale)
+    failovers: int = 0
+    #: stall time the steer *averted*: the worst remaining stall window
+    #: among the bypassed copies at the moment of the switch
+    masked_wait: float = 0.0
+    #: True when a read was reconstructed from a surviving replica while
+    #: its primary copy was unreachable (degraded read)
+    reconstructed: bool = False
 
 
 class FsArbiter:
@@ -179,6 +197,11 @@ class LustreClient:
         self.reads = 0
         #: RPC resends forced by stalled OSTs (fault-injection diagnostics)
         self.retry_events = 0
+        #: ops that steered around an unreachable replica copy
+        self.failover_events = 0
+        #: client-side device health memory: OST -> time until which this
+        #: node distrusts it (set by a timeout, cleared by the next probe)
+        self._avoid: Dict[int, float] = {}
 
     # -- discipline -------------------------------------------------------
     def _resample_discipline(self) -> None:
@@ -249,6 +272,214 @@ class LustreClient:
             pass
         return None
 
+    # -- replica failover --------------------------------------------------
+    #
+    # With mirrored placement (file.replication set) and
+    # ``client_failover`` on, a stalled OST no longer costs the stall
+    # window: the client times out *once*, distrusts the device until the
+    # next probe, and steers the resend -- and every subsequent op -- at a
+    # surviving copy.  Only when every copy of the extent is behind a
+    # stall does it fall back to the PR-1 ride-out loop.
+
+    def _replica_states(self, rep, offset: int, nbytes: int):
+        """Partition the copies of one extent by reachability right now.
+
+        Returns ``(healthy, avoided, fresh)`` replica-index lists:
+        *healthy* copies' devices answer and are trusted; *avoided* copies
+        touch a device this node recently timed out on (skipped at no new
+        cost); *fresh* copies are stalled but not yet diagnosed -- the
+        client only learns that by paying a timeout.
+        """
+        now = self.engine.now
+        healthy, avoided, fresh = [], [], []
+        for r in range(rep.replica_count):
+            lay = rep.replica(r)
+            if any(
+                self._avoid.get(d, 0.0) > now
+                for d in lay.bytes_per_ost(offset, nbytes)
+            ):
+                avoided.append(r)
+            elif self.osts.stall_until(lay, offset, nbytes, now) is not None:
+                fresh.append(r)
+            else:
+                healthy.append(r)
+        return healthy, avoided, fresh
+
+    def _truth_healthy(self, rep, offset: int, nbytes: int):
+        """Replica indices whose devices actually answer right now,
+        ignoring the client's distrust map (the desperate-poll view)."""
+        return [
+            r
+            for r in range(rep.replica_count)
+            if self.osts.stall_until(
+                rep.replica(r), offset, nbytes, self.engine.now
+            )
+            is None
+        ]
+
+    def _distrust(self, rep, replicas, offset: int, nbytes: int) -> None:
+        """Remember the timed-out copies' stalled devices until the next
+        probe (``failover_probe_interval`` from now)."""
+        sched = self.config.faults
+        if sched is None:
+            return
+        now = self.engine.now
+        horizon = now + self.config.failover_probe_interval
+        for r in replicas:
+            for d in rep.replica(r).bytes_per_ost(offset, nbytes):
+                if sched.stall_end(now, (d,)) is not None:
+                    self._avoid[d] = max(self._avoid.get(d, 0.0), horizon)
+
+    def _masked_time(self, rep, skipped, offset: int, nbytes: int) -> float:
+        """Stall time the steer averted: the worst remaining stall window
+        among the bypassed copies' devices (0 once they recovered)."""
+        now = self.engine.now
+        worst = 0.0
+        for r in skipped:
+            end = self.osts.stall_until(rep.replica(r), offset, nbytes, now)
+            if end is not None:
+                worst = max(worst, end - now)
+        return worst
+
+    def _read_source(self, rep, offset: int, nbytes: int):
+        """Generator: choose the copy a read is served from.
+
+        The client tries the lowest-indexed copy it still trusts; if that
+        copy's RPC is swallowed it times out, distrusts the device, and
+        moves to the next copy.  With every copy distrusted or stalled it
+        polls all of them with backoff until one answers.  Returns
+        ``(replica_index, retries, waited, failovers, masked_wait)``.
+        """
+        cfg = self.config
+        t0 = self.engine.now
+        retries = 0
+        # averted stall is measured at each *decision* point -- once the
+        # detection timeouts have been paid the window may already be over
+        masked = 0.0
+        while True:
+            healthy, avoided, fresh = self._replica_states(
+                rep, offset, nbytes
+            )
+            if healthy or fresh:
+                preferred = min(healthy + fresh)
+                if preferred in healthy:
+                    r = preferred
+                    break
+                # the preferred copy's RPC was swallowed: time out, abort,
+                # distrust its devices, and try the next copy
+                masked = max(
+                    masked,
+                    self._masked_time(rep, [preferred], offset, nbytes),
+                )
+                rpc = self.engine.process(
+                    self._lost_rpc(), name=f"rpc{self.node_id}"
+                )
+                yield self.engine.timeout(cfg.retry_wait(retries))
+                rpc.interrupt("rpc-timeout")
+                retries += 1
+                self._distrust(rep, [preferred], offset, nbytes)
+                continue
+            # every copy distrusted: probe reality (nothing else to try)
+            truth = self._truth_healthy(rep, offset, nbytes)
+            if truth:
+                r = truth[0]
+                break
+            rpc = self.engine.process(
+                self._lost_rpc(), name=f"rpc{self.node_id}"
+            )
+            yield self.engine.timeout(cfg.retry_wait(retries))
+            rpc.interrupt("rpc-timeout")
+            retries += 1
+        if retries:
+            # the resend that got through pays the reconnect/replay trip
+            yield self.engine.timeout(cfg.stall_replay_latency)
+        failovers = 0
+        if r != 0:
+            if retries:
+                # the switching op re-enqueues its extent lock on the
+                # replica's OST
+                yield self.engine.timeout(cfg.failover_latency)
+            self.failover_events += 1
+            failovers = 1
+        self.retry_events += retries
+        masked = max(
+            masked, self._masked_time(rep, range(r), offset, nbytes)
+        )
+        return r, retries, self.engine.now - t0, failovers, masked
+
+    def _mirror_write_targets(self, rep, offset: int, nbytes: int):
+        """Generator: pick the copies a mirrored write will reach.
+
+        With failover enabled, copies on distrusted devices are skipped
+        outright and undiagnosed stalled copies cost one shared timeout
+        round before being marked stale; the payload lands on whatever
+        answers.  Without failover every copy must be written, so the op
+        rides out the union of the copies' stall windows.  Returns
+        ``(replica_indices, retries, waited, failovers, masked_wait)``.
+        """
+        cfg = self.config
+        t0 = self.engine.now
+        if not cfg.client_failover:
+            # ReplicatedLayout.bytes_per_ost is the union footprint, so
+            # the ride-out ends only when every copy's devices answer
+            retries = 0
+            if self.osts.stall_until(
+                rep, offset, nbytes, self.engine.now
+            ) is not None:
+                retries, _ = yield from self._ride_out_stall(
+                    rep, offset, nbytes
+                )
+            return (
+                list(range(rep.replica_count)),
+                retries,
+                self.engine.now - t0,
+                0,
+                0.0,
+            )
+        healthy, avoided, fresh = self._replica_states(rep, offset, nbytes)
+        retries = 0
+        # averted stall at the decision point (see _read_source)
+        masked = self._masked_time(
+            rep, fresh + avoided, offset, nbytes
+        )
+        if fresh:
+            # RPCs to the undiagnosed copies were swallowed; one shared
+            # timeout round diagnoses them all
+            rpc = self.engine.process(
+                self._lost_rpc(), name=f"rpc{self.node_id}"
+            )
+            yield self.engine.timeout(cfg.retry_wait(0))
+            rpc.interrupt("rpc-timeout")
+            retries += 1
+            self._distrust(rep, fresh, offset, nbytes)
+        if not healthy:
+            # every copy unreachable or distrusted: poll all of them with
+            # backoff; the first device to recover takes the write
+            while True:
+                healthy = self._truth_healthy(rep, offset, nbytes)
+                if healthy:
+                    break
+                rpc = self.engine.process(
+                    self._lost_rpc(), name=f"rpc{self.node_id}"
+                )
+                yield self.engine.timeout(cfg.retry_wait(retries))
+                rpc.interrupt("rpc-timeout")
+                retries += 1
+        if retries:
+            yield self.engine.timeout(cfg.stall_replay_latency)
+        skipped = [
+            r for r in range(rep.replica_count) if r not in healthy
+        ]
+        failovers = len(skipped)
+        masked = max(
+            masked, self._masked_time(rep, skipped, offset, nbytes)
+        )
+        if skipped:
+            self.failover_events += 1
+            self.osts.mark_stale(len(skipped), nbytes)
+        self.retry_events += retries
+        return healthy, retries, self.engine.now - t0, failovers, masked
+
     # -- write path ------------------------------------------------------------
     def write(
         self, task, file, offset: int, nbytes: int, sync: bool = False
@@ -266,13 +497,22 @@ class LustreClient:
         yield self.engine.timeout(0.0)
         yield self.token.acquire()
         try:
+            rep = getattr(file, "replication", None)
             retries, stall_wait = 0, 0.0
-            if self.osts.stall_until(
-                file.layout, offset, nbytes, self.engine.now
-            ) is not None:
-                retries, stall_wait = yield from self._ride_out_stall(
-                    file.layout, offset, nbytes
+            failovers, masked_wait = 0, 0.0
+            if rep is None:
+                targets = (file.layout,)
+                if self.osts.stall_until(
+                    file.layout, offset, nbytes, self.engine.now
+                ) is not None:
+                    retries, stall_wait = yield from self._ride_out_stall(
+                        file.layout, offset, nbytes
+                    )
+            else:
+                idx, retries, stall_wait, failovers, masked_wait = (
+                    yield from self._mirror_write_targets(rep, offset, nbytes)
                 )
+                targets = tuple(rep.replica(r) for r in idx)
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count
             )
@@ -280,8 +520,13 @@ class LustreClient:
             contention = self.arbiter.contention(
                 file.file_id, file.layout.stripe_count
             )
-            penalty = self.osts.write_penalty(
-                file.layout, offset, nbytes, contention=contention
+            # every written copy pays its own RPCs and byte accounting;
+            # the extent lock is logical (per file), charged once
+            penalty = sum(
+                self.osts.write_penalty(
+                    lay, offset, nbytes, contention=contention
+                )
+                for lay in targets
             )
             if sync:
                 penalty += cfg.sync_write_latency
@@ -296,20 +541,26 @@ class LustreClient:
             factor = self.osts.service_factor(
                 f"node{self.node_id}/write", now=self.engine.now
             )
-            factor *= self.osts.slow_factor(
-                file.layout, offset, nbytes, now=self.engine.now
+            # a mirrored transfer completes when its slowest copy does
+            factor *= max(
+                self.osts.slow_factor(
+                    lay, offset, nbytes, now=self.engine.now
+                )
+                for lay in targets
             )
 
+            fanout = len(targets)
             remaining = nbytes
             while remaining > 0:
                 absorbed = 0.0 if sync else self.cache.absorb(task, remaining)
                 if absorbed > 0:
                     yield self.engine.timeout(absorbed / cfg.mem_bw)
-                    self._schedule_writeback(task, absorbed)
+                    self._schedule_writeback(task, absorbed, fanout)
                     remaining -= int(absorbed)
                 else:
                     chunk = min(remaining, cfg.io_chunk)
-                    yield self.channel.transfer(chunk, factor)
+                    # the wire carries one chunk per written copy
+                    yield self.channel.transfer(chunk * fanout, factor)
                     remaining -= chunk
             if penalty > 0:
                 yield self.engine.timeout(penalty * factor)
@@ -322,26 +573,30 @@ class LustreClient:
             penalty=penalty,
             retries=retries,
             stall_wait=stall_wait,
+            failovers=failovers,
+            masked_wait=masked_wait,
         )
 
-    def _schedule_writeback(self, task: int, nbytes: float) -> None:
+    def _schedule_writeback(self, task: int, nbytes: float, fanout: int = 1) -> None:
         def _kick(_ev) -> None:
             self.cache.flushes += 1
             self.engine.process(
-                self._bg_flush(task, nbytes), name=f"wb{self.node_id}"
+                self._bg_flush(task, nbytes, fanout), name=f"wb{self.node_id}"
             )
 
         tmo = self.engine.timeout(self.cache.writeback_delay)
         tmo.add_callback(_kick)
 
-    def _bg_flush(self, task: int, nbytes: float):
+    def _bg_flush(self, task: int, nbytes: float, fanout: int = 1):
         """Background writeback: drain dirty pages chunk by chunk so quota
-        frees gradually (steady-state throttling, not alternating bursts)."""
+        frees gradually (steady-state throttling, not alternating bursts).
+        ``fanout`` is the mirror width at absorb time: the cache holds one
+        copy of the payload but the wire carries one per replica."""
         remaining = nbytes
         chunk_size = self.config.io_chunk
         while remaining > 0:
             chunk = min(remaining, chunk_size)
-            yield self.channel.transfer(chunk)
+            yield self.channel.transfer(chunk * fanout)
             self.cache.mark_clean(task, chunk)
             remaining -= chunk
         return None
@@ -360,23 +615,41 @@ class LustreClient:
         )
         yield self.token.acquire()
         try:
+            rep = getattr(file, "replication", None)
+            serving = file.layout
             retries, stall_wait = 0, 0.0
-            if self.osts.stall_until(
-                file.layout, offset, nbytes, self.engine.now
-            ) is not None:
-                retries, stall_wait = yield from self._ride_out_stall(
-                    file.layout, offset, nbytes
+            failovers, masked_wait = 0, 0.0
+            reconstructed = False
+            if rep is None or not cfg.client_failover:
+                if self.osts.stall_until(
+                    file.layout, offset, nbytes, self.engine.now
+                ) is not None:
+                    retries, stall_wait = yield from self._ride_out_stall(
+                        file.layout, offset, nbytes
+                    )
+            else:
+                r, retries, stall_wait, failovers, masked_wait = (
+                    yield from self._read_source(rep, offset, nbytes)
                 )
+                if r != 0:
+                    serving = rep.replica(r)
+                    reconstructed = True
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count, read=True
             )
             self._tune_channel(share)
-            penalty = self.osts.read_penalty(file.layout, offset, nbytes)
+            penalty = self.osts.read_penalty(serving, offset, nbytes)
+            if reconstructed:
+                # the primary copy is unreachable: the extent is rebuilt
+                # from the surviving replica at a per-RPC surcharge
+                penalty += self.osts.degraded_read_penalty(
+                    serving, offset, nbytes
+                )
             factor = self.osts.service_factor(
                 f"node{self.node_id}/read", now=self.engine.now
             )
             factor *= self.osts.slow_factor(
-                file.layout, offset, nbytes, now=self.engine.now
+                serving, offset, nbytes, now=self.engine.now
             )
             remaining = nbytes
             while remaining > 0:
@@ -408,6 +681,9 @@ class LustreClient:
             penalty=penalty,
             retries=retries,
             stall_wait=stall_wait,
+            failovers=failovers,
+            masked_wait=masked_wait,
+            reconstructed=reconstructed,
         )
 
     # -- sync ------------------------------------------------------------------

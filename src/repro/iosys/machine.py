@@ -108,6 +108,30 @@ class MachineConfig:
     #: after a stall clears
     stall_replay_latency: float = 50e-3
 
+    # -- replicated placement / client failover -----------------------------------
+    #: copies kept of every stripe (1 = no replication).  Copy ``r`` of a
+    #: stripe is placed ``r * (n_osts // replica_count)`` devices after its
+    #: primary, so a replica never shares its primary's OST; every copy's
+    #: writes consume real bandwidth and RPCs on its own device.
+    replica_count: int = 1
+    #: master switch for client-side OST failover: when a replicated
+    #: extent's serving OST stalls, the client times out once and steers
+    #: the resend at a surviving copy instead of re-driving the sick
+    #: device.  False = mirrored placement without failover (writes must
+    #: reach every copy; reads ride out the stall in place, the PR-1 path).
+    client_failover: bool = True
+    #: reconnect + lock re-enqueue trip paid when an op switches from its
+    #: primary extent onto a replica's OST
+    failover_latency: float = 25e-3
+    #: per-RPC surcharge of a *degraded* read served from a surviving copy
+    #: while the primary is unreachable (replica lookup plus the
+    #: stale-extent consistency check)
+    degraded_read_cost: float = 1.0e-3
+    #: how long a client distrusts a device after timing out on it before
+    #: re-probing (the failback period); steered ops in between skip the
+    #: detection timeout entirely
+    failover_probe_interval: float = 5.0
+
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
     noise_sigma: float = 0.12
@@ -169,6 +193,15 @@ class MachineConfig:
             raise ValueError("retry_backoff must be >= 1")
         if self.retry_max_timeout < self.retry_base_timeout:
             raise ValueError("retry_max_timeout must be >= retry_base_timeout")
+        if not (1 <= self.replica_count <= self.n_osts):
+            raise ValueError(
+                f"replica_count must be in [1, n_osts]: "
+                f"{self.replica_count} vs {self.n_osts}"
+            )
+        if self.failover_latency < 0 or self.degraded_read_cost < 0:
+            raise ValueError("failover costs must be >= 0")
+        if self.failover_probe_interval <= 0:
+            raise ValueError("failover_probe_interval must be positive")
 
     def retry_wait(self, attempt: int) -> float:
         """How long the client waits before re-driving a lost RPC.

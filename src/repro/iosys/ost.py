@@ -33,6 +33,12 @@ class OstPool:
         self.bytes_read = np.zeros(config.n_osts, dtype=float)
         self.rpcs = np.zeros(config.n_osts, dtype=int)
         self.rmw_events = 0
+        #: reads served from a surviving copy while the primary was down
+        self.degraded_reads = 0
+        #: replica copies a write skipped because their device was stalled
+        self.stale_marks = 0
+        #: payload bytes those skipped copies never received (resync debt)
+        self.stale_bytes = 0
 
     # -- penalties ---------------------------------------------------------
     def write_penalty(
@@ -71,6 +77,27 @@ class OstPool:
             self.bytes_read[ost] += nbytes
         self._count_rpcs(layout, offset, length, n_rpcs)
         return n_rpcs * cfg.rpc_overhead
+
+    def degraded_read_penalty(
+        self, layout: StripeLayout, offset: int, length: int
+    ) -> float:
+        """Surcharge of a *degraded* read: the primary copy is behind a
+        stall, so the extent is reconstructed from a surviving replica --
+        each bulk RPC additionally pays the replica lookup and the
+        consistency check against the (possibly stale) primary extent.
+        Counts toward ``degraded_reads``; the bulk bytes themselves are
+        accounted by the ordinary :meth:`read_penalty` on the replica's
+        layout."""
+        cfg = self.config
+        self.degraded_reads += 1
+        n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
+        return n_rpcs * cfg.degraded_read_cost
+
+    def mark_stale(self, ncopies: int, nbytes: int) -> None:
+        """A mirrored write skipped ``ncopies`` stalled replicas: record
+        the copies and the payload bytes they now owe to resync."""
+        self.stale_marks += int(ncopies)
+        self.stale_bytes += int(ncopies) * int(nbytes)
 
     def _count_rpcs(
         self, layout: StripeLayout, offset: int, length: int, n_rpcs: int
@@ -159,4 +186,7 @@ class OstPool:
             "bytes_read": self.bytes_read.copy(),
             "rpcs": self.rpcs.copy(),
             "rmw_events": self.rmw_events,
+            "degraded_reads": self.degraded_reads,
+            "stale_marks": self.stale_marks,
+            "stale_bytes": self.stale_bytes,
         }

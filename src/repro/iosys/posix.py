@@ -23,6 +23,7 @@ from .locks import ExtentLockTracker
 from .machine import MachineConfig
 from .mds import MetadataServer
 from .ost import OstPool
+from .replication import ReplicatedLayout
 from .striping import StripeLayout
 
 __all__ = ["IoSystem", "PosixIo", "SimFile", "O_CREAT", "O_RDONLY", "O_WRONLY", "O_RDWR", "O_SYNC"]
@@ -48,6 +49,9 @@ class SimFile:
     locks: ExtentLockTracker
     size: int = 0
     opens: int = 0
+    #: mirrored placement (None = single-copy file); ``layout`` stays the
+    #: primary copy so every analysis keyed on it keeps working
+    replication: Optional[ReplicatedLayout] = None
 
 
 @dataclass
@@ -84,6 +88,7 @@ class IoSystem:
         self._files: Dict[str, SimFile] = {}
         self._next_file_id = 0
         self._stripe_overrides: Dict[str, int] = {}
+        self._replica_overrides: Dict[str, int] = {}
 
     # -- topology ----------------------------------------------------------
     def node_of(self, task: int) -> int:
@@ -125,6 +130,17 @@ class IoSystem:
             raise ValueError("stripe_count out of range")
         self._stripe_overrides[path] = int(stripe_count)
 
+    def set_replica_count(self, path: str, replica_count: int) -> None:
+        """Per-file mirror width override (``lfs mirror create`` analogue):
+        must be set before the file is created; 1 disables replication."""
+        if path in self._files:
+            raise ValueError(
+                f"file {path!r} already exists; replication is fixed at creation"
+            )
+        if not (1 <= replica_count <= self.config.n_osts):
+            raise ValueError("replica_count out of range")
+        self._replica_overrides[path] = int(replica_count)
+
     def lookup(self, path: str) -> Optional[SimFile]:
         return self._files.get(path)
 
@@ -138,11 +154,19 @@ class IoSystem:
             n_osts=self.config.n_osts,
             start_ost=self._next_file_id % self.config.n_osts,
         )
+        replica_count = self._replica_overrides.get(
+            path, self.config.replica_count
+        )
         f = SimFile(
             file_id=self._next_file_id,
             path=path,
             layout=layout,
             locks=ExtentLockTracker(self.config.lock_revoke_cost),
+            replication=(
+                ReplicatedLayout(layout, replica_count)
+                if replica_count > 1
+                else None
+            ),
         )
         self._next_file_id += 1
         self._files[path] = f
@@ -164,6 +188,11 @@ class IoSystem:
         """RPC resends forced by stalled OSTs, summed over every node's
         client (0 on a healthy pool -- the fault layer's visible cost)."""
         return sum(c.retry_events for c in self._clients.values())
+
+    def total_failovers(self) -> int:
+        """Ops that steered around an unreachable replica copy, summed
+        over every node's client (0 without replication or faults)."""
+        return sum(c.failover_events for c in self._clients.values())
 
 
 class PosixIo:

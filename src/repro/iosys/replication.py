@@ -1,0 +1,147 @@
+"""RAID-1-style replicated object placement over a stripe layout.
+
+A :class:`ReplicatedLayout` keeps ``replica_count`` full copies of every
+stripe (copy 0 is the *primary*), each copy served by a distinct OST.
+Placement is deterministic: copy ``r`` of a stripe lives
+``r * (n_osts // replica_count)`` devices after the primary, so copies of
+one stripe are spread across failure domains and a replica can never land
+on its primary's OST (the invariant the property suite enforces).
+
+Why this exists: the paper's order-statistics argument says run time is
+the N-th order statistic of the per-task distribution -- one slow device
+in the tail defines the whole run.  The PR-1 fault layer could only
+*retry against the same device*, so a stalled OST still cost the full
+stall window.  With mirrored placement the client can instead fail over
+to the surviving copy (see :class:`~repro.iosys.client.LustreClient`),
+clipping the tail while the median -- served by healthy primaries --
+stays put.  Writes pay for the redundancy up front: every copy consumes
+real bandwidth and real RPCs on its own device.
+
+The object quacks like a :class:`~repro.iosys.striping.StripeLayout` for
+the penalty model (``rpcs_for``, ``partial_stripes``, ...), with one
+deliberate difference: its :meth:`bytes_per_ost` reports the extent's
+*full device footprint* (the union over all copies), which is exactly
+what stall queries need -- an extent is only unreachable when **every**
+copy of it is behind a stall.  Per-copy placement comes from
+:meth:`replica`, which returns a plain ``StripeLayout`` for that copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .striping import Extent, StripeLayout
+
+__all__ = ["ReplicatedLayout"]
+
+
+@dataclass(frozen=True)
+class ReplicatedLayout:
+    """Immutable mirrored-placement descriptor for one file."""
+
+    base: StripeLayout
+    replica_count: int
+
+    def __post_init__(self) -> None:
+        if self.replica_count < 1:
+            raise ValueError("replica_count must be >= 1")
+        if self.replica_count > self.base.n_osts:
+            raise ValueError(
+                f"replica_count must be in [1, n_osts]: "
+                f"{self.replica_count} vs {self.base.n_osts}"
+            )
+
+    # -- delegation to the primary copy ------------------------------------
+    @property
+    def stripe_size(self) -> int:
+        return self.base.stripe_size
+
+    @property
+    def stripe_count(self) -> int:
+        return self.base.stripe_count
+
+    @property
+    def n_osts(self) -> int:
+        return self.base.n_osts
+
+    @property
+    def start_ost(self) -> int:
+        return self.base.start_ost
+
+    def stripe_of_offset(self, offset: int) -> int:
+        return self.base.stripe_of_offset(offset)
+
+    def rpcs_for(self, length: int, rpc_size: int) -> int:
+        return self.base.rpcs_for(length, rpc_size)
+
+    def partial_stripes(self, offset: int, length: int) -> int:
+        return self.base.partial_stripes(offset, length)
+
+    def boundary_crossings(self, offset: int, length: int) -> int:
+        return self.base.boundary_crossings(offset, length)
+
+    def is_aligned(self, offset: int, length: int) -> bool:
+        return self.base.is_aligned(offset, length)
+
+    # -- placement ------------------------------------------------------------
+    @property
+    def replica_shift(self) -> int:
+        """Device distance between consecutive copies of one stripe.
+
+        ``n_osts // replica_count`` spreads the copies evenly around the
+        pool; for every ``0 < r < replica_count`` the offset
+        ``r * shift`` is strictly inside ``(0, n_osts)``, which is what
+        makes all copies of a stripe land on pairwise-distinct OSTs.
+        """
+        return max(self.base.n_osts // self.replica_count, 1)
+
+    def replica(self, r: int) -> StripeLayout:
+        """The plain stripe layout of copy ``r`` (copy 0 = the primary)."""
+        if not (0 <= r < self.replica_count):
+            raise ValueError(
+                f"replica index {r} out of range for "
+                f"{self.replica_count} copies"
+            )
+        if r == 0:
+            return self.base
+        return StripeLayout(
+            stripe_size=self.base.stripe_size,
+            stripe_count=self.base.stripe_count,
+            n_osts=self.base.n_osts,
+            start_ost=(self.base.start_ost + r * self.replica_shift)
+            % self.base.n_osts,
+        )
+
+    def layouts(self) -> Tuple[StripeLayout, ...]:
+        """Every copy's layout, primary first."""
+        return tuple(self.replica(r) for r in range(self.replica_count))
+
+    def ost_of_stripe(self, stripe_index: int, r: int = 0) -> int:
+        """OST serving copy ``r`` of the given stripe."""
+        return self.replica(r).ost_of_stripe(stripe_index)
+
+    def replica_osts(self, stripe_index: int) -> Tuple[int, ...]:
+        """All devices holding a copy of the stripe, primary first."""
+        return tuple(
+            self.ost_of_stripe(stripe_index, r)
+            for r in range(self.replica_count)
+        )
+
+    def extents(self, offset: int, length: int, r: int = 0) -> List[Extent]:
+        """Per-stripe extents of copy ``r`` for ``[offset, offset+length)``."""
+        return self.replica(r).extents(offset, length)
+
+    def bytes_per_ost(self, offset: int, length: int) -> Dict[int, int]:
+        """The extent's full device footprint: bytes each OST holds summed
+        over **all** copies.  This is the set a stall query must consult --
+        the extent is lost only when every copy of it is unreachable is
+        *not* true; rather, any listed device being stalled affects *some*
+        copy, and per-copy reachability comes from ``replica(r)``."""
+        acc: Dict[int, int] = {}
+        for r in range(self.replica_count):
+            for ost, nbytes in self.replica(r).bytes_per_ost(
+                offset, length
+            ).items():
+                acc[ost] = acc.get(ost, 0) + nbytes
+        return acc

@@ -261,3 +261,21 @@ class IpmIo:
                 t0,
                 getattr(res, "stall_wait", 0.0),
             )
+        failovers = getattr(res, "failovers", 0)
+        if failovers:
+            # A meta-event per data op that steered around an unreachable
+            # replica copy: ``size`` holds the number of copies bypassed
+            # and ``duration`` the stall time the steer *averted* (the
+            # worst remaining stall window at the switch) -- the recovered
+            # tail time the masked-fault analysis attributes back to the
+            # sick device.  Not a data op; byte accounting is untouched.
+            self._collector.record(
+                self.rank,
+                "failover",
+                self._fd_table.get(fd, "?"),
+                fd,
+                offset,
+                failovers,
+                t0,
+                getattr(res, "masked_wait", 0.0),
+            )

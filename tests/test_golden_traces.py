@@ -130,10 +130,50 @@ def _scenario_slow_ost_stall():
     return job.run(writer, 60, "/scratch/golden.dat")
 
 
+def _scenario_replica_failover():
+    """File-per-task records on 2-way mirrored stripes with a mid-run
+    OST stall: writes skip the stalled copy (marking it stale) and reads
+    steer to the surviving replica -- locks the replication subsystem's
+    placement, detection timeouts, and failover meta-events into the
+    golden digest."""
+    machine = MachineConfig.testbox(
+        n_osts=8,
+        fs_bw=1024 * MiB,
+        fs_read_bw=1024 * MiB,
+        default_stripe_count=4,
+        discipline_weights={2: 1.0},
+    ).with_overrides(
+        faults=FaultSchedule.of(FaultWindow(STALL, 0.10, 0.60, device=2)),
+        client_retry=True,
+        retry_base_timeout=0.05,
+        retry_max_timeout=0.8,
+        replica_count=2,
+        failover_probe_interval=0.5,
+    )
+
+    def worker(ctx, nrec, base):
+        path = f"{base}.{ctx.rank:04d}"
+        ctx.iosys.set_stripe_count(path, 4)
+        fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+        ctx.io.region("write")
+        for j in range(nrec):
+            yield from ctx.io.pwrite(fd, MiB, j * MiB)
+        yield from ctx.comm.barrier()
+        ctx.io.region("read")
+        for j in range(nrec):
+            yield from ctx.io.pread(fd, MiB, j * MiB)
+        yield from ctx.io.close(fd)
+        return None
+
+    job = SimJob(machine, 4, seed=17, placement="packed")
+    return job.run(worker, 12, "/scratch/mirror.dat")
+
+
 SCENARIOS = {
     "ior_write": _scenario_ior_write,
     "madbench_read": _scenario_madbench_read,
     "slow_ost_stall": _scenario_slow_ost_stall,
+    "replica_failover": _scenario_replica_failover,
 }
 
 
