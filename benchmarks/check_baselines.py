@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Verify every benchmark module has a committed baseline record.
+
+Each ``benchmarks/bench_<name>.py`` must ship a matching
+``benchmarks/results/BENCH_<name>.json`` (written by the conftest's
+``pytest_sessionfinish`` hook on a ``--benchmark-only`` run).  A module
+without a baseline means the benchmark was added but never run with
+timings enabled -- the review record the results directory exists to
+keep would silently go missing.  Exits non-zero listing the gaps.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def missing_baselines() -> "list[str]":
+    missing = []
+    for module in sorted(BENCH_DIR.glob("bench_*.py")):
+        name = module.stem[len("bench_"):]
+        baseline = RESULTS_DIR / f"BENCH_{name}.json"
+        if not baseline.exists():
+            missing.append(f"{module.name} -> {baseline.relative_to(BENCH_DIR)}")
+    return missing
+
+
+def main() -> int:
+    gaps = missing_baselines()
+    if gaps:
+        print("missing benchmark baselines (run "
+              "`pytest benchmarks/<module> --benchmark-only` and commit "
+              "the JSON):")
+        for gap in gaps:
+            print(f"  {gap}")
+        return 1
+    print(f"all {len(list(BENCH_DIR.glob('bench_*.py')))} benchmark "
+          f"modules have committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,9 +66,10 @@ class SimJob:
         client_retry: Optional[bool] = None,
         replica_count: Optional[int] = None,
         client_failover: Optional[bool] = None,
+        erasure: Optional["tuple[int, int]"] = None,
     ):
         # fault-injection conveniences: the schedule, the retry switch and
-        # the replication knobs live on the machine config, but a job
+        # the placement knobs live on the machine config, but a job
         # frequently wants to ablate them without rebuilding the config
         overrides = {}
         if faults is not None:
@@ -79,6 +80,8 @@ class SimJob:
             overrides["replica_count"] = replica_count
         if client_failover is not None:
             overrides["client_failover"] = client_failover
+        if erasure is not None:
+            overrides["ec_k"], overrides["ec_m"] = erasure
         if overrides:
             machine = machine.with_overrides(**overrides)
         self.machine = machine
@@ -128,5 +131,6 @@ class SimJob:
             meta={
                 "retries": self.iosys.total_retries(),
                 "failovers": self.iosys.total_failovers(),
+                "reconstructions": self.iosys.total_reconstructions(),
             },
         )

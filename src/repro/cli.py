@@ -14,8 +14,10 @@ persist the trace (``--save run.npz``) for later ``analyze``.
 
 Every ``run-*`` command accepts ``--fault SPEC`` (repeatable) to inject
 time-windowed storage faults, ``--retry`` to enable the client's RPC
-retry/backoff path, and ``--replicate K`` to mirror every stripe on K
-distinct OSTs with client-side failover.  Specs::
+retry/backoff path, ``--replicate K`` to mirror every stripe on K
+distinct OSTs with client-side failover, or ``--erasure K+M`` to protect
+every group of K data stripes with M parity units (mutually exclusive
+with ``--replicate``).  Specs::
 
     degrade:OST:T0:T1:FACTOR   OST serves FACTORx slower in [T0, T1)
     stall:OST:T0:T1            OST drops requests in [T0, T1)
@@ -68,6 +70,12 @@ def _machine(name: str, args=None) -> MachineConfig:
     if getattr(args, "retry", False):
         overrides["client_retry"] = True
     replicate = getattr(args, "replicate", None)
+    erasure = getattr(args, "erasure", None)
+    if replicate is not None and erasure is not None:
+        raise SystemExit(
+            "--replicate and --erasure are mutually exclusive: a file is "
+            "either mirrored or erasure-coded, never both"
+        )
     if replicate is not None:
         if not 1 <= replicate <= machine.n_osts:
             raise SystemExit(
@@ -76,7 +84,34 @@ def _machine(name: str, args=None) -> MachineConfig:
                 f"every copy needs its own device)"
             )
         overrides["replica_count"] = replicate
+    if erasure is not None:
+        k, m = _parse_erasure(erasure)
+        if k + m > machine.n_osts:
+            raise SystemExit(
+                f"bad --erasure code: {k}+{m} needs {k + m} distinct OSTs "
+                f"but the machine has {machine.n_osts} (every unit of a "
+                f"stripe group needs its own device)"
+            )
+        overrides["ec_k"], overrides["ec_m"] = k, m
     return machine.with_overrides(**overrides) if overrides else machine
+
+
+def _parse_erasure(spec: str) -> "tuple[int, int]":
+    """Parse an ``--erasure K+M`` spec (e.g. ``4+2``) into ``(k, m)``."""
+    k_s, sep, m_s = spec.partition("+")
+    try:
+        if not sep:
+            raise ValueError
+        k, m = int(k_s), int(m_s)
+    except ValueError:
+        raise SystemExit(
+            f"bad --erasure spec {spec!r}: expected K+M (e.g. 4+2)"
+        )
+    if k < 1 or m < 1:
+        raise SystemExit(
+            f"bad --erasure spec {spec!r}: K and M must both be >= 1"
+        )
+    return k, m
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -95,6 +130,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="mirror every stripe on K distinct OSTs; the "
                         "client fails reads over to a surviving copy "
                         "when the primary stalls")
+    p.add_argument("--erasure", metavar="K+M",
+                   help="erasure-code every group of K data stripes with "
+                        "M parity units on distinct OSTs; reads behind a "
+                        "stalled device are rebuilt from the group's "
+                        "survivors (mutually exclusive with --replicate)")
 
 
 def _finish(result, ntasks: int, args) -> None:

@@ -14,8 +14,10 @@ from .lln import LlnPrediction, narrowing_report, per_task_totals, predict_sum
 from .locate import (
     MaskedFault,
     OstSuspect,
+    RebuildPressure,
     TransientFault,
     find_masked_faults,
+    find_rebuild_pressure,
     find_slow_osts,
     find_transient_faults,
     ost_ensembles,
@@ -54,9 +56,11 @@ __all__ = [
     "OstSuspect",
     "TransientFault",
     "MaskedFault",
+    "RebuildPressure",
     "find_slow_osts",
     "find_transient_faults",
     "find_masked_faults",
+    "find_rebuild_pressure",
     "ost_ensembles",
     "LlnPrediction",
     "narrowing_report",

@@ -34,6 +34,13 @@ expressed as a test over the trace's ensembles.
                             when the layout is supplied) and the stall
                             time the steering averted, so the fault is
                             repaired *before* it ever costs a run.
+- ``ec-degraded``           clustered ``degraded-read`` meta-events -> a
+                            data device was lost but erasure-coded reads
+                            were rebuilt from the stripe groups' survivors;
+                            the finding names the lost device (via
+                            :func:`~repro.ensembles.locate.find_rebuild_pressure`
+                            when the layout is supplied) and the rebuild
+                            fan-out the rest of the pool is carrying.
 """
 
 from __future__ import annotations
@@ -108,6 +115,7 @@ def diagnose(
     findings.extend(_check_lln(trace, nranks))
     findings.extend(_check_transient_fault(trace, layout))
     findings.extend(_check_failover_mask(trace, layout))
+    findings.extend(_check_ec_degraded(trace, layout))
 
     findings.sort(key=lambda f: f.severity, reverse=True)
     return findings
@@ -580,6 +588,88 @@ def _check_failover_mask(trace: Trace, layout=None) -> List[Finding]:
                 "t_end": w1,
                 "masked_time": worst,
                 "n_events": float(len(fos)),
+            },
+        )
+    ]
+
+
+def _check_ec_degraded(trace: Trace, layout=None) -> List[Finding]:
+    """A data device was lost mid-run but erasure coding kept serving its
+    reads degraded: the evidence is the ``degraded-read`` meta-events each
+    rebuild left behind, carrying the stall time it averted.
+
+    With a layout the verdict names the lost device
+    (:func:`~repro.ensembles.locate.find_rebuild_pressure`); without one
+    it reports the rebuild window alone.  Severity stays moderate -- the
+    run survived -- but unlike a masked mirror fault the cost is ongoing:
+    every degraded read loads all ``k`` survivors of its group, so the
+    pool is paying a fan-out tax until the device is replaced.
+    """
+    drs = trace.filter(ops=["degraded-read"])
+    if len(drs) == 0:
+        return []
+    wall = trace.span or 1.0
+    if layout is not None:
+        from .locate import find_rebuild_pressure
+
+        pressure = find_rebuild_pressure(trace, layout)
+        if not pressure:
+            return []
+        top = pressure[0]
+        sev = min(0.3 + 0.5 * (top.masked_time / wall), 0.8)
+        return [
+            Finding(
+                code="ec-degraded",
+                severity=float(sev),
+                message=(
+                    f"OST {top.ost} went unreachable during "
+                    f"[{top.t_start:.1f}s, {top.t_end:.1f}s] but "
+                    f"{top.n_events} reads were rebuilt from parity "
+                    f"({top.n_groups} stripe groups reconstructed), "
+                    f"averting up to {top.masked_time:.1f}s of stall per op"
+                ),
+                recommendation=(
+                    "erasure coding hid this fault from run time, but "
+                    "every degraded read fans out across the group's "
+                    "survivors and redundancy is reduced; replace the "
+                    "device and rebuild its units before a second loss "
+                    "exceeds the code's tolerance"
+                ),
+                evidence={
+                    "device": float(top.ost),
+                    "t_start": top.t_start,
+                    "t_end": top.t_end,
+                    "masked_time": top.masked_time,
+                    "n_events": float(top.n_events),
+                    "n_groups": float(top.n_groups),
+                },
+            )
+        ]
+    # no layout: report the rebuild window from the meta-events alone
+    w0 = float(drs.starts.min())
+    w1 = float(drs.ends.max())
+    worst = float(drs.durations.max())
+    sev = min(0.3 + 0.5 * (worst / wall), 0.8)
+    return [
+        Finding(
+            code="ec-degraded",
+            severity=float(sev),
+            message=(
+                f"{len(drs)} reads were served degraded (rebuilt from "
+                f"parity) during [{w0:.1f}s, {w1:.1f}s], averting up to "
+                f"{worst:.1f}s of stall per op"
+            ),
+            recommendation=(
+                "a data device was lost but erasure coding absorbed it; "
+                "re-run the analysis with the file's layout to name the "
+                "device, then rebuild its units"
+            ),
+            evidence={
+                "device": -1.0,
+                "t_start": w0,
+                "t_end": w1,
+                "masked_time": worst,
+                "n_events": float(len(drs)),
             },
         )
     ]

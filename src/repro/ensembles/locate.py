@@ -35,10 +35,12 @@ __all__ = [
     "OstSuspect",
     "TransientFault",
     "MaskedFault",
+    "RebuildPressure",
     "ost_ensembles",
     "find_slow_osts",
     "find_transient_faults",
     "find_masked_faults",
+    "find_rebuild_pressure",
 ]
 
 
@@ -329,6 +331,96 @@ def find_masked_faults(
                 ost=ost,
                 n_events=count,
                 n_failovers=n_failovers[ost],
+                masked_time=masked[ost],
+                t_start=min(lo for lo, _ in hull),
+                t_end=max(hi for _, hi in hull),
+            )
+        )
+    out.sort(key=lambda f: (f.masked_time, f.n_events), reverse=True)
+    return out
+
+
+@dataclass(frozen=True)
+class RebuildPressure:
+    """A lost device whose reads erasure coding served by reconstruction.
+
+    The erasure-coded sibling of :class:`MaskedFault`: with k+m placement
+    a stalled data device costs one detection timeout, after which every
+    read touching it is rebuilt from the ``k`` survivors of its stripe
+    group -- the stall never shows up as slow events, but each rebuild
+    leaves a ``degraded-read`` meta-event (``size`` = stripe groups
+    reconstructed, ``duration`` = the stall time the rebuild averted).
+    Attributing those through the file's *data* placement names the
+    device the survivors were rebuilding, and the group counts measure
+    the fan-out load the rebuild spread over the rest of the pool.
+    """
+
+    ost: int
+    #: reads served degraded that touched this device
+    n_events: int
+    #: stripe groups reconstructed in total (>= n_events)
+    n_groups: int
+    #: the largest single averted stall window (seconds)
+    masked_time: float
+    t_start: float
+    t_end: float
+
+
+def find_rebuild_pressure(
+    trace: Trace,
+    layout: StripeLayout,
+    min_events: int = 1,
+) -> List[RebuildPressure]:
+    """Localise the devices degraded erasure-coded reads rebuilt around.
+
+    Each ``degraded-read`` meta-event shares (rank, offset) with the data
+    op it annotates, so the op's extent length is recoverable from the
+    data stream and the event maps -- through the *data* placement, the
+    units the client could not reach -- onto the candidate lost devices.
+    ``layout`` may be the plain :class:`StripeLayout` or the file's
+    :class:`~repro.iosys.erasure.ErasureCodedLayout` (its data placement
+    is used).  Devices collecting at least ``min_events`` such events are
+    reported, worst averted stall first.
+
+    Like :func:`find_masked_faults`, overlapping ops observe the same
+    remaining stall window, so per-device masked time is the *maximum*
+    averted duration, not a sum.
+    """
+    data_layout = getattr(layout, "data_layout", layout)
+    drs = trace.filter(ops=["degraded-read"])
+    if len(drs) == 0:
+        return []
+    sub = trace.data_ops()
+    extent_of: Dict[Tuple[int, int], int] = {}
+    for rank, off, size in zip(sub.ranks, sub.offsets, sub.sizes):
+        extent_of[(int(rank), int(off))] = int(size)
+
+    n_events: Dict[int, int] = {}
+    n_groups: Dict[int, int] = {}
+    masked: Dict[int, float] = {}
+    spans: Dict[int, List[Tuple[float, float]]] = {}
+    for d_rank, d_off, d_count, d_t0, d_dur in zip(
+        drs.ranks, drs.offsets, drs.sizes, drs.starts, drs.durations
+    ):
+        length = extent_of.get((int(d_rank), int(d_off)), 1)
+        for ost in data_layout.bytes_per_ost(int(d_off), max(length, 1)):
+            n_events[ost] = n_events.get(ost, 0) + 1
+            n_groups[ost] = n_groups.get(ost, 0) + int(d_count)
+            masked[ost] = max(masked.get(ost, 0.0), float(d_dur))
+            spans.setdefault(ost, []).append(
+                (float(d_t0), float(d_t0 + d_dur))
+            )
+
+    out: List[RebuildPressure] = []
+    for ost, count in n_events.items():
+        if count < min_events:
+            continue
+        hull = spans[ost]
+        out.append(
+            RebuildPressure(
+                ost=ost,
+                n_events=count,
+                n_groups=n_groups[ost],
                 masked_time=masked[ost],
                 t_start=min(lo for lo, _ in hull),
                 t_end=max(hi for _, hi in hull),

@@ -13,6 +13,7 @@ from . import (
     fig4_madbench,
     fig5_patch,
     fig6_gcrm,
+    fig_erasure,
     fig_failover,
     fig_faults,
     saturation,
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "saturation": saturation,
     "faults": fig_faults,
     "failover": fig_failover,
+    "erasure": fig_erasure,
 }
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "fig4_madbench",
     "fig5_patch",
     "fig6_gcrm",
+    "fig_erasure",
     "fig_failover",
     "fig_faults",
     "saturation",

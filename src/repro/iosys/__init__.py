@@ -2,6 +2,7 @@
 
 from .cache import PageCache
 from .client import FsArbiter, IoResult, LustreClient
+from .erasure import ErasureCodedLayout, ParityUpdate, ReconstructionStep
 from .faults import DEGRADE, MDS_HICCUP, STALL, TAIL_BURST, FaultSchedule, FaultWindow
 from .locks import ExtentLockTracker
 from .machine import GiB, KiB, MachineConfig, MiB
@@ -42,6 +43,9 @@ __all__ = [
     "ReadPlan",
     "StreamState",
     "ReplicatedLayout",
+    "ErasureCodedLayout",
+    "ParityUpdate",
+    "ReconstructionStep",
     "Extent",
     "StripeLayout",
 ]

@@ -54,6 +54,20 @@ device until the next probe and steers reads at a surviving copy
 (paying the degraded-read reconstruction surcharge) while writes skip
 the dead copy and mark it stale.  Each steered op is counted as a
 failover event in the trace, carrying the stall time the steer averted.
+
+Erasure coding (``iosys/erasure.py``): when the file carries an
+:class:`~repro.iosys.erasure.ErasureCodedLayout`, writes additionally
+move the parity -- a sub-stripe-group write pays the read-old-data +
+read-old-parity round on top of the ``m``-unit parity mirror, a
+full-group write only the ``(k+m)/k`` wire amplification -- and a read
+whose data device stalls is served *degraded*: after one detection
+timeout the missing range is rebuilt by fanning reads across the ``k``
+survivors of each affected stripe group (every survivor loaded, unlike
+the single mirror of the replication path).  The gather-and-decode runs
+on the server fabric -- the client still receives only the payload
+bytes, it is the surviving *devices* that absorb the fan-out.  Each
+reconstructed op is counted as a degraded-read event in the trace,
+carrying the stall time the rebuild averted.
 """
 
 from __future__ import annotations
@@ -99,6 +113,9 @@ class IoResult:
     #: True when a read was reconstructed from a surviving replica while
     #: its primary copy was unreachable (degraded read)
     reconstructed: bool = False
+    #: stripe groups an erasure-coded read rebuilt from survivors (0 when
+    #: the read was served from intact data units)
+    reconstructions: int = 0
 
 
 class FsArbiter:
@@ -199,6 +216,8 @@ class LustreClient:
         self.retry_events = 0
         #: ops that steered around an unreachable replica copy
         self.failover_events = 0
+        #: erasure-coded reads served by survivor reconstruction
+        self.reconstruction_events = 0
         #: client-side device health memory: OST -> time until which this
         #: node distrusts it (set by a timeout, cleared by the next probe)
         self._avoid: Dict[int, float] = {}
@@ -480,6 +499,135 @@ class LustreClient:
         self.retry_events += retries
         return healthy, retries, self.engine.now - t0, failovers, masked
 
+    # -- erasure-coded degraded reads ---------------------------------------
+    #
+    # With k+m placement (file.erasure set) and ``client_failover`` on,
+    # a read whose data device stalls costs one detection timeout and is
+    # then served *degraded*: the missing range of each affected stripe
+    # group is rebuilt from its k surviving units.  Only when some group
+    # has lost more than m units does the client fall back to polling.
+
+    def _ec_device_states(self, ec, offset: int, nbytes: int):
+        """Partition the extent's *data* devices by reachability right
+        now: answering-and-trusted, distrusted (recently timed out on),
+        and stalled-but-undiagnosed (learning that costs a timeout)."""
+        now = self.engine.now
+        sched = self.config.faults
+        healthy, avoided, fresh = [], [], []
+        for d in sorted(ec.data_layout.bytes_per_ost(offset, nbytes)):
+            if self._avoid.get(d, 0.0) > now:
+                avoided.append(d)
+            elif sched is not None and sched.stall_end(now, (d,)) is not None:
+                fresh.append(d)
+            else:
+                healthy.append(d)
+        return healthy, avoided, fresh
+
+    def _device_masked_time(self, devices) -> float:
+        """Worst remaining stall window among ``devices`` (0 once over)."""
+        sched = self.config.faults
+        if sched is None:
+            return 0.0
+        now = self.engine.now
+        worst = 0.0
+        for d in devices:
+            end = sched.stall_end(now, (d,))
+            if end is not None:
+                worst = max(worst, end - now)
+        return worst
+
+    def _distrust_devices(self, devices) -> None:
+        """Remember timed-out devices until the next probe."""
+        sched = self.config.faults
+        if sched is None:
+            return
+        now = self.engine.now
+        horizon = now + self.config.failover_probe_interval
+        for d in devices:
+            if sched.stall_end(now, (d,)) is not None:
+                self._avoid[d] = max(self._avoid.get(d, 0.0), horizon)
+
+    def _ec_unusable(self, ec, offset: int, nbytes: int, lost):
+        """Devices a reconstruction must not read from right now: the
+        lost set plus every group member (data *or* parity) that is
+        distrusted or actually stalled."""
+        now = self.engine.now
+        sched = self.config.faults
+        bad = set(lost)
+        for g in ec.groups_for(offset, nbytes):
+            for d in ec.group_osts(g):
+                if self._avoid.get(d, 0.0) > now:
+                    bad.add(d)
+                elif sched is not None and sched.stall_end(now, (d,)) is not None:
+                    bad.add(d)
+        return tuple(sorted(bad))
+
+    def _ec_read_source(self, ec, offset: int, nbytes: int):
+        """Generator: decide how an erasure-coded read is served.
+
+        Stalled-but-undiagnosed data devices each cost one shared
+        timeout round before being distrusted; once every sick device is
+        diagnosed the client checks that each affected stripe group still
+        holds ``k`` usable units and, if so, commits to the degraded
+        read.  A group past the code's tolerance forces backoff polling
+        until a device recovers (distrust expires at the probe horizon).
+        Returns ``(lost_devices, avoid_devices, retries, waited,
+        masked_wait)``.
+        """
+        cfg = self.config
+        t0 = self.engine.now
+        retries = 0
+        # averted stall is measured at each *decision* point -- once the
+        # detection timeouts have been paid the window may already be over
+        masked = 0.0
+        while True:
+            healthy, avoided, fresh = self._ec_device_states(
+                ec, offset, nbytes
+            )
+            if not avoided and not fresh:
+                lost, avoid = (), ()
+                break
+            if fresh:
+                # RPCs to the undiagnosed devices were swallowed; one
+                # shared timeout round diagnoses them all
+                masked = max(
+                    masked, self._device_masked_time(fresh + avoided)
+                )
+                rpc = self.engine.process(
+                    self._lost_rpc(), name=f"rpc{self.node_id}"
+                )
+                yield self.engine.timeout(cfg.retry_wait(retries))
+                rpc.interrupt("rpc-timeout")
+                retries += 1
+                self._distrust_devices(fresh)
+                continue
+            # every sick data device diagnosed: reconstructible?
+            lost = tuple(avoided)
+            avoid = self._ec_unusable(ec, offset, nbytes, lost)
+            try:
+                ec.reconstruction_plan(offset, nbytes, lost, avoid)
+            except ValueError:
+                # some group lost more than m units: nothing to rebuild
+                # from, poll with backoff until a device recovers
+                rpc = self.engine.process(
+                    self._lost_rpc(), name=f"rpc{self.node_id}"
+                )
+                yield self.engine.timeout(cfg.retry_wait(retries))
+                rpc.interrupt("rpc-timeout")
+                retries += 1
+                continue
+            break
+        if retries:
+            # the resend that got through pays the reconnect/replay trip
+            yield self.engine.timeout(cfg.stall_replay_latency)
+        if lost:
+            if retries:
+                # the switching op re-enqueues its locks on the survivors
+                yield self.engine.timeout(cfg.failover_latency)
+            masked = max(masked, self._device_masked_time(lost))
+        self.retry_events += retries
+        return lost, avoid, retries, self.engine.now - t0, masked
+
     # -- write path ------------------------------------------------------------
     def write(
         self, task, file, offset: int, nbytes: int, sync: bool = False
@@ -498,21 +646,25 @@ class LustreClient:
         yield self.token.acquire()
         try:
             rep = getattr(file, "replication", None)
+            ec = getattr(file, "erasure", None)
             retries, stall_wait = 0, 0.0
             failovers, masked_wait = 0, 0.0
-            if rep is None:
-                targets = (file.layout,)
-                if self.osts.stall_until(
-                    file.layout, offset, nbytes, self.engine.now
-                ) is not None:
-                    retries, stall_wait = yield from self._ride_out_stall(
-                        file.layout, offset, nbytes
-                    )
-            else:
+            if rep is not None:
                 idx, retries, stall_wait, failovers, masked_wait = (
                     yield from self._mirror_write_targets(rep, offset, nbytes)
                 )
                 targets = tuple(rep.replica(r) for r in idx)
+            else:
+                targets = (file.layout,)
+                # an erasure-coded commit must reach the parity devices
+                # too, so the stall query covers the full k+m footprint
+                stall_lay = ec if ec is not None else file.layout
+                if self.osts.stall_until(
+                    stall_lay, offset, nbytes, self.engine.now
+                ) is not None:
+                    retries, stall_wait = yield from self._ride_out_stall(
+                        stall_lay, offset, nbytes
+                    )
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count
             )
@@ -520,14 +672,23 @@ class LustreClient:
             contention = self.arbiter.contention(
                 file.file_id, file.layout.stripe_count
             )
-            # every written copy pays its own RPCs and byte accounting;
-            # the extent lock is logical (per file), charged once
-            penalty = sum(
-                self.osts.write_penalty(
-                    lay, offset, nbytes, contention=contention
+            ec_parity_bytes = 0
+            if ec is not None:
+                # data write + parity maintenance (read-old rounds for
+                # partially covered groups), one call does the accounting
+                penalty, ec_parity_bytes = self.osts.ec_write_penalty(
+                    ec, offset, nbytes, contention=contention
                 )
-                for lay in targets
-            )
+            else:
+                # every written copy pays its own RPCs and byte
+                # accounting; the extent lock is logical (per file),
+                # charged once
+                penalty = sum(
+                    self.osts.write_penalty(
+                        lay, offset, nbytes, contention=contention
+                    )
+                    for lay in targets
+                )
             if sync:
                 penalty += cfg.sync_write_latency
             penalty += file.locks.write_penalty(
@@ -541,15 +702,21 @@ class LustreClient:
             factor = self.osts.service_factor(
                 f"node{self.node_id}/write", now=self.engine.now
             )
-            # a mirrored transfer completes when its slowest copy does
+            # a mirrored (or parity-bearing) transfer completes when its
+            # slowest copy/unit does
             factor *= max(
                 self.osts.slow_factor(
                     lay, offset, nbytes, now=self.engine.now
                 )
-                for lay in targets
+                for lay in ((ec,) if ec is not None else targets)
             )
 
-            fanout = len(targets)
+            # wire amplification: one chunk per mirror copy, or the
+            # (k+m)/k parity share for an erasure-coded file
+            if ec is not None and nbytes > 0:
+                fanout = 1.0 + ec_parity_bytes / nbytes
+            else:
+                fanout = len(targets)
             remaining = nbytes
             while remaining > 0:
                 absorbed = 0.0 if sync else self.cache.absorb(task, remaining)
@@ -616,30 +783,53 @@ class LustreClient:
         yield self.token.acquire()
         try:
             rep = getattr(file, "replication", None)
+            ec = getattr(file, "erasure", None)
             serving = file.layout
             retries, stall_wait = 0, 0.0
             failovers, masked_wait = 0, 0.0
             reconstructed = False
-            if rep is None or not cfg.client_failover:
-                if self.osts.stall_until(
-                    file.layout, offset, nbytes, self.engine.now
-                ) is not None:
-                    retries, stall_wait = yield from self._ride_out_stall(
-                        file.layout, offset, nbytes
-                    )
-            else:
+            ec_lost, ec_avoid = (), ()
+            if rep is not None and cfg.client_failover:
                 r, retries, stall_wait, failovers, masked_wait = (
                     yield from self._read_source(rep, offset, nbytes)
                 )
                 if r != 0:
                     serving = rep.replica(r)
                     reconstructed = True
+            elif ec is not None and cfg.client_failover:
+                ec_lost, ec_avoid, retries, stall_wait, masked_wait = (
+                    yield from self._ec_read_source(ec, offset, nbytes)
+                )
+                reconstructed = bool(ec_lost)
+            else:
+                if self.osts.stall_until(
+                    file.layout, offset, nbytes, self.engine.now
+                ) is not None:
+                    retries, stall_wait = yield from self._ride_out_stall(
+                        file.layout, offset, nbytes
+                    )
             share = self.arbiter.node_share(
                 file.file_id, file.layout.stripe_count, read=True
             )
             self._tune_channel(share)
+            # the payload is always booked against the file's placement
+            # (rebuilt bytes are still delivered to the caller); the
+            # physical survivor traffic of a rebuild lands in recon_reads
             penalty = self.osts.read_penalty(serving, offset, nbytes)
-            if reconstructed:
+            recon_groups = 0
+            if ec_lost:
+                # data device(s) unreachable: rebuild their ranges from
+                # the k survivors of each affected stripe group; the
+                # fan-out is gathered and decoded server-side, so the
+                # client wire below still carries only the payload
+                ec_pen, _fanout, recon_groups = (
+                    self.osts.ec_degraded_read_penalty(
+                        ec, offset, nbytes, ec_lost, ec_avoid
+                    )
+                )
+                penalty += ec_pen
+                self.reconstruction_events += 1
+            elif reconstructed:
                 # the primary copy is unreachable: the extent is rebuilt
                 # from the surviving replica at a per-RPC surcharge
                 penalty += self.osts.degraded_read_penalty(
@@ -684,6 +874,7 @@ class LustreClient:
             failovers=failovers,
             masked_wait=masked_wait,
             reconstructed=reconstructed,
+            reconstructions=recon_groups,
         )
 
     # -- sync ------------------------------------------------------------------

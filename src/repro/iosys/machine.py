@@ -132,6 +132,25 @@ class MachineConfig:
     #: detection timeout entirely
     failover_probe_interval: float = 5.0
 
+    # -- erasure-coded placement (k+m) --------------------------------------------
+    #: data units per stripe group (0 = erasure coding disabled).  Every
+    #: group of ``ec_k`` data stripes carries ``ec_m`` parity units on
+    #: devices distinct from the group's data devices, rotated per group
+    #: so parity load stays balanced.  Mutually exclusive with mirrored
+    #: placement (``replica_count > 1``): a file is either mirrored or
+    #: erasure-coded, never both.
+    ec_k: int = 0
+    #: parity units per stripe group (0 = erasure coding disabled)
+    ec_m: int = 0
+    #: server-side cost of one read-old-data + read-old-parity round for
+    #: a sub-stripe-group write (the RAID small-write problem); paid per
+    #: partially covered group, scaled by the contention factor like RMW
+    parity_update_cost: float = 2.0e-3
+    #: per-RPC surcharge of a reconstruction read served from a group's
+    #: survivors while a data device is unreachable (decode matrix setup
+    #: plus the extra lock round on each survivor)
+    ec_reconstruct_cost: float = 1.0e-3
+
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
     noise_sigma: float = 0.12
@@ -202,6 +221,23 @@ class MachineConfig:
             raise ValueError("failover costs must be >= 0")
         if self.failover_probe_interval <= 0:
             raise ValueError("failover_probe_interval must be positive")
+        if (self.ec_k == 0) != (self.ec_m == 0):
+            raise ValueError("ec_k and ec_m must be set together (or both 0)")
+        if self.ec_k < 0 or self.ec_m < 0:
+            raise ValueError("ec_k/ec_m must be >= 0")
+        if self.ec_k:
+            if self.ec_k + self.ec_m > self.n_osts:
+                raise ValueError(
+                    f"ec_k + ec_m must be in [2, n_osts]: "
+                    f"{self.ec_k}+{self.ec_m} vs {self.n_osts}"
+                )
+            if self.replica_count > 1:
+                raise ValueError(
+                    "mirrored placement (replica_count > 1) and erasure "
+                    "coding (ec_k/ec_m) are mutually exclusive"
+                )
+        if self.parity_update_cost < 0 or self.ec_reconstruct_cost < 0:
+            raise ValueError("erasure-coding costs must be >= 0")
 
     def retry_wait(self, attempt: int) -> float:
         """How long the client waits before re-driving a lost RPC.

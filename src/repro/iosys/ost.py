@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..sim.rng import RngStreams
+from .erasure import ErasureCodedLayout
 from .machine import MachineConfig
 from .striping import StripeLayout
 
@@ -39,6 +40,16 @@ class OstPool:
         self.stale_marks = 0
         #: payload bytes those skipped copies never received (resync debt)
         self.stale_bytes = 0
+        #: parity bytes erasure-coded writes put on parity devices
+        self.parity_bytes = 0
+        #: read-old-data + read-old-parity rounds owed by sub-group writes
+        self.parity_updates = 0
+        #: stripe groups rebuilt by degraded reads (reconstruction fan-out)
+        self.ec_reconstructions = 0
+        #: total bytes reconstruction reads pulled off surviving devices
+        self.recon_bytes = 0
+        #: per-OST reconstruction-read load (rebuild pressure on survivors)
+        self.recon_reads = np.zeros(config.n_osts, dtype=float)
 
     # -- penalties ---------------------------------------------------------
     def write_penalty(
@@ -92,6 +103,92 @@ class OstPool:
         self.degraded_reads += 1
         n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
         return n_rpcs * cfg.degraded_read_cost
+
+    def ec_write_penalty(
+        self,
+        ec: ErasureCodedLayout,
+        offset: int,
+        length: int,
+        contention: float = 1.0,
+    ) -> "tuple[float, int]":
+        """Penalty and parity bytes of an erasure-coded write extent.
+
+        The data side is the ordinary :meth:`write_penalty` on the base
+        layout.  On top of it, each touched stripe group owes its parity
+        maintenance: ``m`` parity units each mirroring the written range
+        (RPC overhead + bytes on the parity devices), and -- for groups
+        the write only *partially* covers -- one read-old-data +
+        read-old-parity round (the RAID small-write problem), scaled by
+        ``contention`` exactly like RMW.  A full-group write pays none of
+        the read-old rounds, just the ``(k+m)/k`` byte amplification.
+
+        Returns ``(penalty_seconds, parity_bytes)`` so the caller can
+        amplify the wire transfer by the parity share.
+        """
+        cfg = self.config
+        penalty = self.write_penalty(ec.data_layout, offset, length, contention)
+        total_parity = 0
+        for upd in ec.parity_updates(offset, length):
+            per_unit_rpcs = ec.rpcs_for(upd.nbytes, cfg.rpc_size)
+            penalty += per_unit_rpcs * len(upd.parity_osts) * cfg.rpc_overhead
+            for d in upd.parity_osts:
+                self.bytes_written[d] += upd.nbytes
+                self.rpcs[d] += per_unit_rpcs
+            total_parity += upd.total_parity_bytes
+            if not upd.full and cfg.parity_update_cost > 0:
+                self.parity_updates += 1
+                penalty += cfg.parity_update_cost * contention
+        self.parity_bytes += total_parity
+        return penalty, total_parity
+
+    def ec_degraded_read_penalty(
+        self,
+        ec: ErasureCodedLayout,
+        offset: int,
+        length: int,
+        lost: "tuple[int, ...]",
+        avoid: "tuple[int, ...]" = (),
+    ) -> "tuple[float, int, int]":
+        """Penalty and extra wire bytes of a *degraded* erasure-coded read.
+
+        The bytes on healthy data devices are served normally (accounted
+        by the ordinary :meth:`read_penalty` the caller issues on the base
+        layout).  The bytes on ``lost`` devices are rebuilt per stripe
+        group by reading the missing range from ``k`` survivors -- the
+        reconstruction fan-out that loads every surviving device instead
+        of one mirror.  Each survivor RPC pays ``ec_reconstruct_cost`` on
+        top of the stock overhead.  The gather-and-decode is offloaded to
+        the server fabric (which is provisioned for rebuild traffic), so
+        the client receives only the payload; the cost the code cannot
+        hide is the *device* load, and survivor reads land in
+        ``recon_reads`` (rebuild pressure), not ``bytes_read``, so
+        payload accounting stays conserved.
+
+        Returns ``(penalty_seconds, fanout_bytes, n_groups)`` where the
+        fan-out bytes are the survivor bytes read *beyond* the lost
+        payload the client asked for (k reads replace 1):
+        ``(k - 1) * lost_bytes`` across the server fabric.
+        """
+        cfg = self.config
+        penalty = 0.0
+        fanout = 0
+        n_groups = 0
+        for step in ec.reconstruction_plan(offset, length, lost, avoid):
+            n_groups += 1
+            self.ec_reconstructions += 1
+            per_unit_rpcs = ec.rpcs_for(step.nbytes, cfg.rpc_size)
+            n_surv = len(step.survivor_osts)
+            # one RPC round per survivor unit, but decode is a single
+            # reduction pass over the k gathered buffers per group
+            penalty += per_unit_rpcs * (
+                n_surv * cfg.rpc_overhead + cfg.ec_reconstruct_cost
+            )
+            for d in step.survivor_osts:
+                self.recon_reads[d] += step.nbytes
+                self.rpcs[d] += per_unit_rpcs
+            self.recon_bytes += step.fanout_bytes
+            fanout += step.nbytes * (n_surv - 1)
+        return penalty, fanout, n_groups
 
     def mark_stale(self, ncopies: int, nbytes: int) -> None:
         """A mirrored write skipped ``ncopies`` stalled replicas: record
@@ -189,4 +286,9 @@ class OstPool:
             "degraded_reads": self.degraded_reads,
             "stale_marks": self.stale_marks,
             "stale_bytes": self.stale_bytes,
+            "parity_bytes": self.parity_bytes,
+            "parity_updates": self.parity_updates,
+            "ec_reconstructions": self.ec_reconstructions,
+            "recon_bytes": self.recon_bytes,
+            "recon_reads": self.recon_reads.copy(),
         }

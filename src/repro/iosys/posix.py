@@ -19,6 +19,7 @@ from typing import Dict, Optional
 from ..sim.engine import Engine
 from ..sim.rng import RngStreams
 from .client import FsArbiter, IoResult, LustreClient
+from .erasure import ErasureCodedLayout
 from .locks import ExtentLockTracker
 from .machine import MachineConfig
 from .mds import MetadataServer
@@ -52,6 +53,10 @@ class SimFile:
     #: mirrored placement (None = single-copy file); ``layout`` stays the
     #: primary copy so every analysis keyed on it keeps working
     replication: Optional[ReplicatedLayout] = None
+    #: erasure-coded placement (None = unprotected); ``layout`` stays the
+    #: data placement, parity devices hang off this descriptor.  Mutually
+    #: exclusive with ``replication``.
+    erasure: Optional[ErasureCodedLayout] = None
 
 
 @dataclass
@@ -89,6 +94,7 @@ class IoSystem:
         self._next_file_id = 0
         self._stripe_overrides: Dict[str, int] = {}
         self._replica_overrides: Dict[str, int] = {}
+        self._erasure_overrides: Dict[str, "tuple[int, int]"] = {}
 
     # -- topology ----------------------------------------------------------
     def node_of(self, task: int) -> int:
@@ -141,6 +147,22 @@ class IoSystem:
             raise ValueError("replica_count out of range")
         self._replica_overrides[path] = int(replica_count)
 
+    def set_erasure(self, path: str, k: int, m: int) -> None:
+        """Per-file erasure-coding override (``lfs setstripe -E`` with a
+        parity component, roughly): must be set before the file is
+        created; ``k = m = 0`` disables coding for this file."""
+        if path in self._files:
+            raise ValueError(
+                f"file {path!r} already exists; erasure coding is fixed at creation"
+            )
+        if (k == 0) != (m == 0):
+            raise ValueError("k and m must be set together (or both 0)")
+        if k < 0 or m < 0:
+            raise ValueError("k/m must be >= 0")
+        if k and k + m > self.config.n_osts:
+            raise ValueError("k + m out of range")
+        self._erasure_overrides[path] = (int(k), int(m))
+
     def lookup(self, path: str) -> Optional[SimFile]:
         return self._files.get(path)
 
@@ -157,6 +179,14 @@ class IoSystem:
         replica_count = self._replica_overrides.get(
             path, self.config.replica_count
         )
+        ec_k, ec_m = self._erasure_overrides.get(
+            path, (self.config.ec_k, self.config.ec_m)
+        )
+        if replica_count > 1 and ec_k:
+            raise ValueError(
+                f"file {path!r}: mirrored placement and erasure coding "
+                f"are mutually exclusive"
+            )
         f = SimFile(
             file_id=self._next_file_id,
             path=path,
@@ -166,6 +196,9 @@ class IoSystem:
                 ReplicatedLayout(layout, replica_count)
                 if replica_count > 1
                 else None
+            ),
+            erasure=(
+                ErasureCodedLayout(layout, ec_k, ec_m) if ec_k else None
             ),
         )
         self._next_file_id += 1
@@ -193,6 +226,11 @@ class IoSystem:
         """Ops that steered around an unreachable replica copy, summed
         over every node's client (0 without replication or faults)."""
         return sum(c.failover_events for c in self._clients.values())
+
+    def total_reconstructions(self) -> int:
+        """Erasure-coded reads served by survivor reconstruction, summed
+        over every node's client (0 without erasure coding or faults)."""
+        return sum(c.reconstruction_events for c in self._clients.values())
 
 
 class PosixIo:

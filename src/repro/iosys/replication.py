@@ -134,10 +134,15 @@ class ReplicatedLayout:
 
     def bytes_per_ost(self, offset: int, length: int) -> Dict[int, int]:
         """The extent's full device footprint: bytes each OST holds summed
-        over **all** copies.  This is the set a stall query must consult --
-        the extent is lost only when every copy of it is unreachable is
-        *not* true; rather, any listed device being stalled affects *some*
-        copy, and per-copy reachability comes from ``replica(r)``."""
+        over **all** copies.
+
+        Contract: a stalled device in this map affects *some* copy of the
+        extent, not necessarily every copy -- so a stall query against
+        this footprint answers "is any copy impaired?" (what a mirrored
+        write, which must reach every copy, needs to know).  It does NOT
+        mean the extent is unreadable; per-copy reachability -- "can copy
+        ``r`` serve this read?" -- comes from querying ``replica(r)``'s
+        own (single-copy) footprint instead."""
         acc: Dict[int, int] = {}
         for r in range(self.replica_count):
             for ost, nbytes in self.replica(r).bytes_per_ost(

@@ -279,3 +279,20 @@ class IpmIo:
                 t0,
                 getattr(res, "masked_wait", 0.0),
             )
+        reconstructions = getattr(res, "reconstructions", 0)
+        if reconstructions:
+            # A meta-event per erasure-coded read rebuilt from survivors:
+            # ``size`` holds the number of stripe groups reconstructed
+            # and ``duration`` the stall time the rebuild *averted* --
+            # what the rebuild-pressure analysis attributes back to the
+            # lost device.  Not a data op; byte accounting is untouched.
+            self._collector.record(
+                self.rank,
+                "degraded-read",
+                self._fd_table.get(fd, "?"),
+                fd,
+                offset,
+                reconstructions,
+                t0,
+                getattr(res, "masked_wait", 0.0),
+            )

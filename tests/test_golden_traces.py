@@ -169,11 +169,71 @@ def _scenario_replica_failover():
     return job.run(worker, 12, "/scratch/mirror.dat")
 
 
+def _ec_machine(faults):
+    return MachineConfig.testbox(
+        n_osts=8,
+        fs_bw=1024 * MiB,
+        fs_read_bw=1024 * MiB,
+        default_stripe_count=4,
+        discipline_weights={2: 1.0},
+    ).with_overrides(
+        faults=faults,
+        client_retry=True,
+        retry_base_timeout=0.05,
+        retry_max_timeout=0.8,
+        ec_k=4,
+        ec_m=1,
+        failover_probe_interval=0.5,
+    )
+
+
+def _ec_worker(ctx, nrec, base):
+    # group-aligned 4 MiB records keep the parity bill at exactly
+    # (k+m)/k; the 1 MiB read-back sub-records each touch a single
+    # data device, so degraded-read events attribute unambiguously
+    path = f"{base}.{ctx.rank:04d}"
+    ctx.iosys.set_stripe_count(path, 4)
+    fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+    ctx.io.region("write")
+    for j in range(nrec):
+        yield from ctx.io.pwrite(fd, 4 * MiB, j * 4 * MiB)
+    yield from ctx.comm.barrier()
+    ctx.io.region("read")
+    for j in range(nrec * 4):
+        yield from ctx.io.pread(fd, MiB, j * MiB)
+    yield from ctx.io.close(fd)
+    return None
+
+
+def _scenario_ec_degraded_read():
+    """File-per-task records on 4+1 erasure-coded stripes with a mid-run
+    OST stall: reads of extents on the lost device fan out to the k
+    survivors and decode server-side -- locks the erasure subsystem's
+    rotated parity placement, parity write amplification, detection
+    timeouts, and degraded-read meta-events into the golden digest."""
+    machine = _ec_machine(
+        FaultSchedule.of(FaultWindow(STALL, 0.10, 0.60, device=2))
+    )
+    job = SimJob(machine, 4, seed=17, placement="packed")
+    return job.run(_ec_worker, 3, "/scratch/ecgold.dat")
+
+
+def _scenario_ec_healthy():
+    """The identical coded workload with no fault injected: the negative
+    control pinning down that a healthy code costs only its parity bytes
+    -- zero reconstructions, zero degraded-read events."""
+    machine = _ec_machine(None)
+    job = SimJob(machine, 4, seed=17, placement="packed")
+    return job.run(_ec_worker, 3, "/scratch/ecgold.dat")
+
+
 SCENARIOS = {
     "ior_write": _scenario_ior_write,
     "madbench_read": _scenario_madbench_read,
     "slow_ost_stall": _scenario_slow_ost_stall,
     "replica_failover": _scenario_replica_failover,
+    "ec_degraded_read": _scenario_ec_degraded_read,
+    "ec_healthy": _scenario_ec_healthy,
 }
 
 
@@ -205,6 +265,18 @@ def test_trace_matches_golden(name):
         f"{name}: simulated behaviour changed.  If intended, regenerate "
         f"the goldens and commit them with the change."
     )
+
+
+def test_ec_scenarios_bracket_the_fault():
+    """The degraded scenario must actually reconstruct and the healthy
+    control must not -- guards against both goldens drifting into
+    digests of the wrong behaviour."""
+    degraded = SCENARIOS["ec_degraded_read"]()
+    healthy = SCENARIOS["ec_healthy"]()
+    assert degraded.meta["reconstructions"] > 0
+    assert len(degraded.trace.filter(ops=["degraded-read"])) > 0
+    assert healthy.meta["reconstructions"] == 0
+    assert len(healthy.trace.filter(ops=["degraded-read"])) == 0
 
 
 def test_back_to_back_runs_are_byte_identical():

@@ -246,6 +246,44 @@ def test_diagnose_reports_failover_masked_fault():
     assert findings[0].severity > 0
 
 
+def test_masked_fault_with_every_ost_holding_a_copy():
+    """replica_count == n_osts: every device holds a copy of every
+    stripe, so the union footprint is the whole pool.  The analysis must
+    survive the degenerate geometry (no device is distinguishable by
+    placement) without crashing, and failover still masks the stall."""
+    res = _run(NOSTS, failover=True, device=1)
+    assert res.meta["failovers"] > 0
+    votes = {}
+    for path, f in res.iosys._files.items():
+        sub = res.trace.filter(path=path)
+        for m in find_masked_faults(sub, f.replication or f.layout):
+            votes[m.ost] = votes.get(m.ost, 0) + m.n_events
+    # attribution through the union footprint spreads over the pool;
+    # the sick device must at least be among the accused
+    assert 1 in votes
+    findings = diagnose(res.trace, nranks=2)
+    assert isinstance(findings, list)  # window-only diagnosis, no crash
+
+
+def test_stall_window_after_last_io_yields_no_finding():
+    """A stall window that opens after the job's final I/O never hits a
+    request: no retries, no failovers, no masked-fault finding -- and
+    none of the analyses crash on the eventless window."""
+    res = _run(2, failover=True, window=(500.0, 600.0), device=1)
+    assert res.meta["retries"] == 0
+    assert res.meta["failovers"] == 0
+    assert len(res.trace.filter(ops=["failover"])) == 0
+    for path, f in res.iosys._files.items():
+        assert find_masked_faults(res.trace.filter(path=path), f.layout) == []
+    path, f = next(iter(sorted(res.iosys._files.items())))
+    findings = [
+        f2
+        for f2 in diagnose(res.trace, nranks=2, layout=f.layout)
+        if f2.code == "failover-masked-fault"
+    ]
+    assert findings == []
+
+
 # -- CLI -----------------------------------------------------------------------
 
 def test_cli_parses_replicate():
