@@ -23,6 +23,7 @@ from ..ipm.interceptor import IpmCollector, IpmIo
 from ..iosys.faults import FaultSchedule
 from ..iosys.machine import MachineConfig
 from ..iosys.posix import IoSystem
+from ..iosys.telemetry import TelemetryTimeline
 from ..mpi.comm import Interconnect
 from ..mpi.runtime import World
 from ..sim.engine import Engine
@@ -43,6 +44,8 @@ class AppResult:
     iosys: IoSystem
     collector: IpmCollector
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: server-side telemetry (None unless the job ran with telemetry on)
+    telemetry: Optional[TelemetryTimeline] = None
 
     @property
     def total_bytes(self) -> int:
@@ -67,6 +70,7 @@ class SimJob:
         replica_count: Optional[int] = None,
         client_failover: Optional[bool] = None,
         erasure: Optional["tuple[int, int]"] = None,
+        telemetry: Optional[bool] = None,
     ):
         # fault-injection conveniences: the schedule, the retry switch and
         # the placement knobs live on the machine config, but a job
@@ -82,6 +86,8 @@ class SimJob:
             overrides["client_failover"] = client_failover
         if erasure is not None:
             overrides["ec_k"], overrides["ec_m"] = erasure
+        if telemetry is not None:
+            overrides["telemetry"] = telemetry
         if overrides:
             machine = machine.with_overrides(**overrides)
         self.machine = machine
@@ -133,4 +139,5 @@ class SimJob:
                 "failovers": self.iosys.total_failovers(),
                 "reconstructions": self.iosys.total_reconstructions(),
             },
+            telemetry=self.iosys.telemetry_timeline(),
         )

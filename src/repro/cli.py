@@ -69,6 +69,8 @@ def _machine(name: str, args=None) -> MachineConfig:
             raise SystemExit(f"bad --fault spec: {exc}")
     if getattr(args, "retry", False):
         overrides["client_retry"] = True
+    if getattr(args, "telemetry", False):
+        overrides["telemetry"] = True
     replicate = getattr(args, "replicate", None)
     erasure = getattr(args, "erasure", None)
     if replicate is not None and erasure is not None:
@@ -126,6 +128,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "grammar in the module help")
     p.add_argument("--retry", action="store_true",
                    help="enable client RPC retry/backoff under stalls")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record server-side per-OST telemetry during the "
+                        "run and print its summary (ground truth for the "
+                        "ensemble diagnosis oracle)")
     p.add_argument("--replicate", type=int, metavar="K",
                    help="mirror every stripe on K distinct OSTs; the "
                         "client fails reads over to a surviving copy "
@@ -140,6 +146,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 def _finish(result, ntasks: int, args) -> None:
     print(format_report(build_report(result.trace, ntasks, result.elapsed)))
     print(f"\nsimulated job time: {result.elapsed:.1f} s")
+    if getattr(result, "telemetry", None) is not None:
+        print()
+        print(result.telemetry.format_summary())
     if args.analyze:
         print()
         print(format_analysis(analyze(result.trace, nranks=ntasks)))

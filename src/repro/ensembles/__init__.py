@@ -23,6 +23,19 @@ from .locate import (
     ost_ensembles,
 )
 from .modes import HarmonicStructure, Mode, detect_modes, harmonics
+from .oracle import (
+    CONFIRMED,
+    CONTRADICTED,
+    UNVERIFIED,
+    OracleReport,
+    OracleVerdict,
+    verify_finding,
+    verify_findings,
+    verify_masked,
+    verify_rebuilds,
+    verify_slow_osts,
+    verify_transients,
+)
 from .plots import plot_cdfs, plot_curve, plot_histogram, plot_rate_curve
 from .order_stats import (
     expected_max,
@@ -70,6 +83,17 @@ __all__ = [
     "Mode",
     "detect_modes",
     "harmonics",
+    "CONFIRMED",
+    "CONTRADICTED",
+    "UNVERIFIED",
+    "OracleReport",
+    "OracleVerdict",
+    "verify_finding",
+    "verify_findings",
+    "verify_masked",
+    "verify_rebuilds",
+    "verify_slow_osts",
+    "verify_transients",
     "plot_cdfs",
     "plot_curve",
     "plot_histogram",

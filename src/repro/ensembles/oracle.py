@@ -1,0 +1,391 @@
+"""Ground-truth oracle: score client-side diagnosis against server truth.
+
+The paper's premise is that client-side event ensembles alone can name a
+server-side culprit.  The simulator can finally *grade* that claim: with
+``MachineConfig.telemetry`` on, every run exports a
+:class:`~repro.iosys.telemetry.TelemetryTimeline` carrying the injected
+fault schedule, the static slowdown map, and the per-device counters the
+storage side actually recorded.  This module cross-checks each
+client-inferred verdict -- :func:`~repro.ensembles.diagnose.diagnose`
+findings and :mod:`~repro.ensembles.locate` suspects -- against that
+truth, per device and per window:
+
+- **CONFIRMED**  -- the named device really was faulted (or statically
+  slow) inside the reported window, and the server-side counters
+  corroborate the mechanism (retries / stale bytes / reconstruction
+  traffic where the finding claims them).
+- **CONTRADICTED** -- the named device has no overlapping fault of the
+  right kind (a mis-attribution), or the finding claims a fault on a
+  provably healthy pool.
+- **UNVERIFIED** -- the oracle holds no server-side truth for this
+  finding kind (workload-shape findings like ``harmonic-modes``), or the
+  finding named no device and no fault window overlaps to judge it by.
+
+A device-less finding (``evidence["device"] == -1``) is judged at window
+granularity only: the oracle checks some fault of the right kind overlaps
+the reported window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..iosys.faults import DEGRADE, STALL
+from ..iosys.telemetry import TelemetryTimeline
+from .diagnose import Finding
+from .locate import MaskedFault, OstSuspect, RebuildPressure, TransientFault
+
+__all__ = [
+    "CONFIRMED",
+    "CONTRADICTED",
+    "UNVERIFIED",
+    "OracleVerdict",
+    "OracleReport",
+    "verify_findings",
+    "verify_finding",
+    "verify_slow_osts",
+    "verify_transients",
+    "verify_masked",
+    "verify_rebuilds",
+]
+
+CONFIRMED = "CONFIRMED"
+CONTRADICTED = "CONTRADICTED"
+UNVERIFIED = "UNVERIFIED"
+
+#: slack (seconds) granted around a client-reported window: detection
+#: timeouts and backoff stretch the *observed* window past the injected
+#: one, and the client cannot see a fault's tail once it steers away
+WINDOW_SLACK = 2.0
+
+#: which injected fault kinds make each client verdict "true"
+_TRUTH_KINDS: Dict[str, Tuple[str, ...]] = {
+    "transient-fault": (STALL, DEGRADE),
+    "failover-masked-fault": (STALL,),
+    "ec-degraded": (STALL,),
+    "rebuild-pressure": (STALL,),
+}
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One client claim scored against the server's truth."""
+
+    code: str
+    verdict: str  # CONFIRMED / CONTRADICTED / UNVERIFIED
+    #: device the client named (None when the finding was device-less)
+    device: Optional[int]
+    #: devices the server actually faulted inside the (slackened) window
+    truth_devices: Tuple[int, ...]
+    t_start: float
+    t_end: float
+    #: named device is in the truth set (None when device-less)
+    device_match: Optional[bool]
+    #: the claimed window overlaps a real fault on the relevant device(s)
+    window_match: Optional[bool]
+    #: seconds of real fault time inside the claimed window
+    overlap: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        where = "pool" if self.device is None else f"OST {self.device}"
+        return f"[{self.verdict}] {self.code} @ {where}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Every scored claim from one cross-check, worst verdicts first."""
+
+    verdicts: Tuple[OracleVerdict, ...]
+
+    @property
+    def n_confirmed(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == CONFIRMED)
+
+    @property
+    def n_contradicted(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == CONTRADICTED)
+
+    @property
+    def n_unverified(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == UNVERIFIED)
+
+    @property
+    def all_confirmed(self) -> bool:
+        """True when every scorable claim was confirmed (and at least one
+        was scored)."""
+        scored = [v for v in self.verdicts if v.verdict != UNVERIFIED]
+        return bool(scored) and all(
+            v.verdict == CONFIRMED for v in scored
+        )
+
+    @property
+    def contradictions(self) -> Tuple[OracleVerdict, ...]:
+        return tuple(
+            v for v in self.verdicts if v.verdict == CONTRADICTED
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"oracle: {self.n_confirmed} confirmed, "
+            f"{self.n_contradicted} contradicted, "
+            f"{self.n_unverified} unverified"
+        ]
+        for v in self.verdicts:
+            where = "pool" if v.device is None else f"OST {v.device}"
+            lines.append(
+                f"  [{v.verdict:12s}] {v.code:22s} {where:8s} "
+                f"[{v.t_start:6.1f}s, {v.t_end:6.1f}s]  {v.detail}"
+            )
+        return "\n".join(lines)
+
+
+_ORDER = {CONTRADICTED: 0, UNVERIFIED: 1, CONFIRMED: 2}
+
+
+def _report(verdicts: List[OracleVerdict]) -> OracleReport:
+    verdicts.sort(key=lambda v: _ORDER[v.verdict])
+    return OracleReport(verdicts=tuple(verdicts))
+
+
+# -- the per-claim check --------------------------------------------------------
+
+def _judge(
+    timeline: TelemetryTimeline,
+    code: str,
+    device: Optional[int],
+    t0: float,
+    t1: float,
+    slack: float,
+) -> OracleVerdict:
+    """Score one device/window claim against the fault schedule."""
+    kinds = _TRUTH_KINDS[code]
+    lo, hi = t0 - slack, t1 + slack
+    truth = timeline.faulted_devices(lo, hi, kinds)
+    # a statically slow device is a legitimate transient-fault culprit
+    # too (a rebuild that outlasted the run looks identical client-side)
+    static = timeline.slow_devices() if code == "transient-fault" else ()
+
+    if device is None:
+        window_match = bool(truth) or bool(static)
+        if window_match:
+            return OracleVerdict(
+                code=code,
+                verdict=CONFIRMED,
+                device=None,
+                truth_devices=truth,
+                t_start=t0,
+                t_end=t1,
+                device_match=None,
+                window_match=True,
+                overlap=max(
+                    (timeline.fault_overlap(d, lo, hi, kinds) for d in truth),
+                    default=0.0,
+                ),
+                detail=(
+                    f"window overlaps real {'/'.join(kinds)} on "
+                    f"device(s) {list(truth) or list(static)}"
+                ),
+            )
+        return OracleVerdict(
+            code=code,
+            verdict=CONTRADICTED,
+            device=None,
+            truth_devices=(),
+            t_start=t0,
+            t_end=t1,
+            device_match=None,
+            window_match=False,
+            overlap=0.0,
+            detail="no injected fault overlaps the claimed window",
+        )
+
+    device_match = device in truth or device in static
+    overlap = timeline.fault_overlap(device, lo, hi, kinds)
+    window_match = overlap > 0.0 or device in static
+    if device_match and window_match:
+        src = (
+            f"{overlap:.2f}s of scheduled fault inside the window"
+            if overlap > 0.0
+            else "statically slowed for the whole run"
+        )
+        return OracleVerdict(
+            code=code,
+            verdict=CONFIRMED,
+            device=device,
+            truth_devices=truth,
+            t_start=t0,
+            t_end=t1,
+            device_match=True,
+            window_match=True,
+            overlap=overlap,
+            detail=f"device and window agree with server truth ({src})",
+        )
+    if not device_match:
+        detail = (
+            f"server faulted {list(truth)} in this window, not "
+            f"OST {device}"
+            if truth
+            else f"server injected no fault on OST {device} (healthy)"
+        )
+    else:
+        detail = (
+            f"OST {device} is a real culprit but its fault never "
+            f"overlaps [{t0:.1f}s, {t1:.1f}s]"
+        )
+    return OracleVerdict(
+        code=code,
+        verdict=CONTRADICTED,
+        device=device,
+        truth_devices=truth,
+        t_start=t0,
+        t_end=t1,
+        device_match=device_match,
+        window_match=window_match,
+        overlap=overlap,
+        detail=detail,
+    )
+
+
+# -- diagnose() findings --------------------------------------------------------
+
+def verify_finding(
+    finding: Finding,
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleVerdict:
+    """Score one :func:`~repro.ensembles.diagnose.diagnose` finding.
+
+    Findings whose kind carries no server-side truth (workload-shape
+    diagnostics) come back UNVERIFIED.
+    """
+    if finding.code not in _TRUTH_KINDS:
+        return OracleVerdict(
+            code=finding.code,
+            verdict=UNVERIFIED,
+            device=None,
+            truth_devices=(),
+            t_start=0.0,
+            t_end=timeline.span,
+            device_match=None,
+            window_match=None,
+            overlap=0.0,
+            detail="no server-side ground truth for this finding kind",
+        )
+    ev = finding.evidence
+    raw_dev = ev.get("device", -1.0)
+    device = None if raw_dev is None or raw_dev < 0 else int(raw_dev)
+    t0 = float(ev.get("t_start", 0.0))
+    t1 = float(ev.get("t_end", timeline.span))
+    return _judge(timeline, finding.code, device, t0, t1, slack)
+
+
+def verify_findings(
+    findings: Sequence[Finding],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleReport:
+    """Score every fault-kind finding from one diagnosis pass."""
+    return _report(
+        [verify_finding(f, timeline, slack) for f in findings]
+    )
+
+
+# -- locate.py suspects ---------------------------------------------------------
+
+def verify_slow_osts(
+    suspects: Sequence[OstSuspect],
+    timeline: TelemetryTimeline,
+    min_factor: float = 2.0,
+) -> OracleReport:
+    """Score a static slow-OST scan: every *suspect* device must really
+    carry a static slowdown (or a degrade window), and -- the direction
+    client-side analysis cannot check itself -- every truly slow device
+    must have been caught (a miss is a contradiction too)."""
+    slow = set(timeline.slow_devices(min_factor))
+    slow |= set(timeline.faulted_devices(0.0, timeline.span, (DEGRADE,)))
+    verdicts: List[OracleVerdict] = []
+    caught = set()
+    for s in suspects:
+        if not s.is_suspect:
+            continue
+        caught.add(s.ost)
+        good = s.ost in slow
+        verdicts.append(
+            OracleVerdict(
+                code="slow-ost",
+                verdict=CONFIRMED if good else CONTRADICTED,
+                device=s.ost,
+                truth_devices=tuple(sorted(slow)),
+                t_start=0.0,
+                t_end=timeline.span,
+                device_match=good,
+                window_match=good,
+                overlap=timeline.span if good else 0.0,
+                detail=(
+                    f"{s.slowdown:.1f}x ensemble shift matches the "
+                    f"server's slow set"
+                    if good
+                    else f"suspect {s.slowdown:.1f}x shift but the server "
+                    f"slowed {sorted(slow) or 'no devices'}"
+                ),
+            )
+        )
+    for missed in sorted(slow - caught):
+        verdicts.append(
+            OracleVerdict(
+                code="slow-ost",
+                verdict=CONTRADICTED,
+                device=missed,
+                truth_devices=tuple(sorted(slow)),
+                t_start=0.0,
+                t_end=timeline.span,
+                device_match=False,
+                window_match=False,
+                overlap=0.0,
+                detail="server slowed this device but the scan missed it",
+            )
+        )
+    return _report(verdicts)
+
+
+def _verify_located(
+    code: str,
+    items: Sequence,
+    timeline: TelemetryTimeline,
+    slack: float,
+) -> OracleReport:
+    return _report(
+        [
+            _judge(timeline, code, it.ost, it.t_start, it.t_end, slack)
+            for it in items
+        ]
+    )
+
+
+def verify_transients(
+    faults: Sequence[TransientFault],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleReport:
+    """Score :func:`~repro.ensembles.locate.find_transient_faults`."""
+    return _verify_located("transient-fault", faults, timeline, slack)
+
+
+def verify_masked(
+    faults: Sequence[MaskedFault],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleReport:
+    """Score :func:`~repro.ensembles.locate.find_masked_faults`."""
+    return _verify_located("failover-masked-fault", faults, timeline, slack)
+
+
+def verify_rebuilds(
+    pressure: Sequence[RebuildPressure],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleReport:
+    """Score :func:`~repro.ensembles.locate.find_rebuild_pressure`."""
+    return _verify_located("rebuild-pressure", pressure, timeline, slack)

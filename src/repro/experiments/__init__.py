@@ -16,6 +16,7 @@ from . import (
     fig_erasure,
     fig_failover,
     fig_faults,
+    fig_telemetry,
     saturation,
 )
 from .runner import SCALES, ExperimentResult, format_table
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = {
     "faults": fig_faults,
     "failover": fig_failover,
     "erasure": fig_erasure,
+    "telemetry": fig_telemetry,
 }
 
 __all__ = [
@@ -45,5 +47,6 @@ __all__ = [
     "fig_erasure",
     "fig_failover",
     "fig_faults",
+    "fig_telemetry",
     "saturation",
 ]

@@ -250,6 +250,28 @@ class LustreClient:
         self.channel.bandwidth = lane * active
         self.channel.set_slots(active)
 
+    # -- telemetry ---------------------------------------------------------
+    def _tel_retry(self, layout, offset: int, nbytes: int) -> None:
+        """Attribute one RPC resend to the currently-stalled devices of
+        the extent (pure observation; no-op with telemetry off)."""
+        tel = self.osts.telemetry
+        sched = self.config.faults
+        if tel is None or sched is None:
+            return
+        now = self.engine.now
+        stalled = [
+            d
+            for d in layout.bytes_per_ost(offset, nbytes)
+            if sched.stall_end(now, (d,)) is not None
+        ]
+        if stalled:
+            tel.record_retries(stalled)
+
+    def _tel_retry_devices(self, devices) -> None:
+        tel = self.osts.telemetry
+        if tel is not None and devices:
+            tel.record_retries(devices)
+
     # -- fault recovery ----------------------------------------------------
     def _ride_out_stall(self, layout, offset: int, nbytes: int):
         """Generator: recovery path for an op whose serving OST stalled.
@@ -269,6 +291,7 @@ class LustreClient:
             )
             if stall_end is None:
                 break
+            self._tel_retry(layout, offset, nbytes)
             rpc = self.engine.process(
                 self._lost_rpc(), name=f"rpc{self.node_id}"
             )
@@ -390,6 +413,7 @@ class LustreClient:
                     masked,
                     self._masked_time(rep, [preferred], offset, nbytes),
                 )
+                self._tel_retry(rep.replica(preferred), offset, nbytes)
                 rpc = self.engine.process(
                     self._lost_rpc(), name=f"rpc{self.node_id}"
                 )
@@ -403,6 +427,7 @@ class LustreClient:
             if truth:
                 r = truth[0]
                 break
+            self._tel_retry(rep, offset, nbytes)
             rpc = self.engine.process(
                 self._lost_rpc(), name=f"rpc{self.node_id}"
             )
@@ -464,6 +489,7 @@ class LustreClient:
         if fresh:
             # RPCs to the undiagnosed copies were swallowed; one shared
             # timeout round diagnoses them all
+            self._tel_retry(rep, offset, nbytes)
             rpc = self.engine.process(
                 self._lost_rpc(), name=f"rpc{self.node_id}"
             )
@@ -478,6 +504,7 @@ class LustreClient:
                 healthy = self._truth_healthy(rep, offset, nbytes)
                 if healthy:
                     break
+                self._tel_retry(rep, offset, nbytes)
                 rpc = self.engine.process(
                     self._lost_rpc(), name=f"rpc{self.node_id}"
                 )
@@ -495,7 +522,13 @@ class LustreClient:
         )
         if skipped:
             self.failover_events += 1
-            self.osts.mark_stale(len(skipped), nbytes)
+            stale_extents: Dict[int, int] = {}
+            for r in skipped:
+                for d, nb in rep.replica(r).bytes_per_ost(
+                    offset, nbytes
+                ).items():
+                    stale_extents[d] = stale_extents.get(d, 0) + nb
+            self.osts.mark_stale(len(skipped), nbytes, stale_extents)
         self.retry_events += retries
         return healthy, retries, self.engine.now - t0, failovers, masked
 
@@ -593,6 +626,7 @@ class LustreClient:
                 masked = max(
                     masked, self._device_masked_time(fresh + avoided)
                 )
+                self._tel_retry_devices(fresh)
                 rpc = self.engine.process(
                     self._lost_rpc(), name=f"rpc{self.node_id}"
                 )
@@ -609,6 +643,7 @@ class LustreClient:
             except ValueError:
                 # some group lost more than m units: nothing to rebuild
                 # from, poll with backoff until a device recovers
+                self._tel_retry(ec, offset, nbytes)
                 rpc = self.engine.process(
                     self._lost_rpc(), name=f"rpc{self.node_id}"
                 )
@@ -641,6 +676,16 @@ class LustreClient:
         t0 = self.engine.now
         if self.arbiter.begin(file.file_id, self.node_id):
             self._resample_discipline()
+        # queue-depth sampling over the op's full placement footprint
+        # (mirror union / k+m group / plain stripes), inline: this runs
+        # for every simulated transfer
+        tel = self.osts.telemetry
+        if tel is not None:
+            lay = file.replication or file.erasure or file.layout
+            tel_devs = lay.osts_touched(offset, nbytes)
+            tel.op_begin(tel_devs)
+        else:
+            tel_devs = ()
         # Let every same-timestamp peer register before shares are sampled.
         yield self.engine.timeout(0.0)
         yield self.token.acquire()
@@ -734,6 +779,8 @@ class LustreClient:
         finally:
             self.token.release()
             self.arbiter.end(file.file_id, self.node_id)
+            if tel_devs:
+                tel.op_end(tel_devs)
         self.writes += 1
         return IoResult(
             duration=self.engine.now - t0,
@@ -775,6 +822,13 @@ class LustreClient:
         t0 = self.engine.now
         if self.arbiter.begin(file.file_id, self.node_id):
             self._resample_discipline()
+        tel = self.osts.telemetry
+        if tel is not None:
+            lay = file.replication or file.erasure or file.layout
+            tel_devs = lay.osts_touched(offset, nbytes)
+            tel.op_begin(tel_devs)
+        else:
+            tel_devs = ()
         yield self.engine.timeout(0.0)
         # Read-ahead observes the stream in arrival order (before queueing).
         plan: ReadPlan = self.readahead.observe(
@@ -863,6 +917,8 @@ class LustreClient:
         finally:
             self.token.release()
             self.arbiter.end(file.file_id, self.node_id)
+            if tel_devs:
+                tel.op_end(tel_devs)
         self.reads += 1
         return IoResult(
             duration=self.engine.now - t0,

@@ -261,6 +261,22 @@ class ErasureCodedLayout:
                 acc[d] = acc.get(d, 0) + upd.nbytes
         return acc
 
+    def osts_touched(self, offset: int, length: int) -> Tuple[int, ...]:
+        """Devices of the full write footprint: data devices then the
+        parity devices of every touched group."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for ost in self.base.osts_touched(offset, length):
+            if ost not in seen:
+                seen.add(ost)
+                out.append(ost)
+        for upd in self.parity_updates(offset, length):
+            for ost in upd.parity_osts:
+                if ost not in seen:
+                    seen.add(ost)
+                    out.append(ost)
+        return tuple(out)
+
     # -- degraded reads ----------------------------------------------------
     def reconstruction_plan(
         self,

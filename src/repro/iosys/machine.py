@@ -151,6 +151,16 @@ class MachineConfig:
     #: plus the extra lock round on each survivor)
     ec_reconstruct_cost: float = 1.0e-3
 
+    # -- server-side telemetry ----------------------------------------------------
+    #: master switch for the server-side observability layer: when on, the
+    #: I/O system samples per-OST byte/RPC/queue counters into a
+    #: :class:`~repro.iosys.telemetry.TelemetryTimeline` as the run
+    #: progresses.  Pure observation -- enabling it never changes simulated
+    #: behaviour (the golden traces pin this).
+    telemetry: bool = False
+    #: width of one telemetry bucket in simulated seconds
+    telemetry_dt: float = 0.1
+
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
     noise_sigma: float = 0.12
@@ -238,6 +248,8 @@ class MachineConfig:
                 )
         if self.parity_update_cost < 0 or self.ec_reconstruct_cost < 0:
             raise ValueError("erasure-coding costs must be >= 0")
+        if self.telemetry_dt <= 0:
+            raise ValueError("telemetry_dt must be positive")
 
     def retry_wait(self, attempt: int) -> float:
         """How long the client waits before re-driving a lost RPC.

@@ -35,6 +35,8 @@ class MetadataServer:
         self.config = config
         self.rng = rng
         self.ops = {name: 0 for name in self.OP_COST}
+        #: optional TelemetryCollector (set by IoSystem when telemetry is on)
+        self.telemetry = None
         if config.mds_latency > 0:
             self._server: Server | None = Server(
                 engine,
@@ -51,6 +53,9 @@ class MetadataServer:
         if op not in self.OP_COST:
             raise ValueError(f"unknown metadata op {op!r}")
         self.ops[op] += 1
+        if self.telemetry is not None:
+            # depth as seen by the arriving request (pure observation)
+            self.telemetry.record_mds(self.queue_depth)
         if self._server is None:
             ev = self.engine.event()
             ev.succeed(0.0)
@@ -70,4 +75,5 @@ class MetadataServer:
 
     @property
     def queue_depth(self) -> int:
+        # delegates to the shared FifoQueueMixin accounting on the Server
         return self._server.queue_depth if self._server else 0

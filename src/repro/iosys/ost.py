@@ -30,6 +30,9 @@ class OstPool:
     def __init__(self, config: MachineConfig, rng: RngStreams):
         self.config = config
         self.rng = rng
+        #: optional TelemetryCollector; every hook below is guarded so the
+        #: disabled path costs one attribute check
+        self.telemetry = None
         self.bytes_written = np.zeros(config.n_osts, dtype=float)
         self.bytes_read = np.zeros(config.n_osts, dtype=float)
         self.rpcs = np.zeros(config.n_osts, dtype=int)
@@ -73,9 +76,18 @@ class OstPool:
         if partial and cfg.rmw_cost > 0:
             self.rmw_events += partial
             penalty += partial * cfg.rmw_cost * contention
-        for ost, nbytes in layout.bytes_per_ost(offset, length).items():
+        tel = self.telemetry
+        acc = layout.bytes_per_ost(offset, length)
+        base, extra = divmod(n_rpcs, len(acc)) if acc else (0, 0)
+        # RPCs round-robin over the touched OSTs: ost i of n gets one
+        # extra while i < n_rpcs mod n
+        for i, ost in enumerate(sorted(acc)):
+            nbytes = acc[ost]
+            share = base + (1 if i < extra else 0)
             self.bytes_written[ost] += nbytes
-        self._count_rpcs(layout, offset, length, n_rpcs)
+            self.rpcs[ost] += share
+            if tel is not None:
+                tel.record_in(ost, nbytes, share)
         return penalty
 
     def read_penalty(
@@ -84,9 +96,16 @@ class OstPool:
         """RPC overhead for a read extent; updates counters."""
         cfg = self.config
         n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
-        for ost, nbytes in layout.bytes_per_ost(offset, length).items():
+        tel = self.telemetry
+        acc = layout.bytes_per_ost(offset, length)
+        base, extra = divmod(n_rpcs, len(acc)) if acc else (0, 0)
+        for i, ost in enumerate(sorted(acc)):
+            nbytes = acc[ost]
+            share = base + (1 if i < extra else 0)
             self.bytes_read[ost] += nbytes
-        self._count_rpcs(layout, offset, length, n_rpcs)
+            self.rpcs[ost] += share
+            if tel is not None:
+                tel.record_out(ost, nbytes, share)
         return n_rpcs * cfg.rpc_overhead
 
     def degraded_read_penalty(
@@ -101,6 +120,8 @@ class OstPool:
         layout."""
         cfg = self.config
         self.degraded_reads += 1
+        if self.telemetry is not None:
+            self.telemetry.record_degraded(layout.bytes_per_ost(offset, length))
         n_rpcs = layout.rpcs_for(length, cfg.rpc_size)
         return n_rpcs * cfg.degraded_read_cost
 
@@ -128,12 +149,17 @@ class OstPool:
         cfg = self.config
         penalty = self.write_penalty(ec.data_layout, offset, length, contention)
         total_parity = 0
+        tel = self.telemetry
         for upd in ec.parity_updates(offset, length):
             per_unit_rpcs = ec.rpcs_for(upd.nbytes, cfg.rpc_size)
             penalty += per_unit_rpcs * len(upd.parity_osts) * cfg.rpc_overhead
             for d in upd.parity_osts:
                 self.bytes_written[d] += upd.nbytes
                 self.rpcs[d] += per_unit_rpcs
+                if tel is not None:
+                    tel.record_write(d, upd.nbytes)
+                    tel.record_parity(d, upd.nbytes)
+                    tel.record_rpcs(d, per_unit_rpcs)
             total_parity += upd.total_parity_bytes
             if not upd.full and cfg.parity_update_cost > 0:
                 self.parity_updates += 1
@@ -186,25 +212,27 @@ class OstPool:
             for d in step.survivor_osts:
                 self.recon_reads[d] += step.nbytes
                 self.rpcs[d] += per_unit_rpcs
+                if self.telemetry is not None:
+                    self.telemetry.record_recon(d, step.nbytes)
+                    self.telemetry.record_rpcs(d, per_unit_rpcs)
             self.recon_bytes += step.fanout_bytes
             fanout += step.nbytes * (n_surv - 1)
         return penalty, fanout, n_groups
 
-    def mark_stale(self, ncopies: int, nbytes: int) -> None:
+    def mark_stale(
+        self,
+        ncopies: int,
+        nbytes: int,
+        extents: "Optional[Dict[int, int]]" = None,
+    ) -> None:
         """A mirrored write skipped ``ncopies`` stalled replicas: record
-        the copies and the payload bytes they now owe to resync."""
+        the copies and the payload bytes they now owe to resync.
+        ``extents`` maps each skipped OST to the bytes it missed, for
+        telemetry attribution."""
         self.stale_marks += int(ncopies)
         self.stale_bytes += int(ncopies) * int(nbytes)
-
-    def _count_rpcs(
-        self, layout: StripeLayout, offset: int, length: int, n_rpcs: int
-    ) -> None:
-        if length <= 0:
-            return
-        # attribute RPCs round-robin over the OSTs the extent touches
-        osts = sorted(layout.bytes_per_ost(offset, length))
-        for i in range(n_rpcs):
-            self.rpcs[osts[i % len(osts)]] += 1
+        if self.telemetry is not None and extents:
+            self.telemetry.record_stale(extents)
 
     # -- fault injection ------------------------------------------------------
     def slow_factor(

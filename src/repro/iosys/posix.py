@@ -26,6 +26,7 @@ from .mds import MetadataServer
 from .ost import OstPool
 from .replication import ReplicatedLayout
 from .striping import StripeLayout
+from .telemetry import TelemetryCollector, TelemetryTimeline
 
 __all__ = ["IoSystem", "PosixIo", "SimFile", "O_CREAT", "O_RDONLY", "O_WRONLY", "O_RDWR", "O_SYNC"]
 
@@ -88,6 +89,13 @@ class IoSystem:
         self.arbiter = FsArbiter(config, now_fn=lambda: engine.now)
         self.osts = OstPool(config, self.rng)
         self.mds = MetadataServer(engine, config, self.rng)
+        #: server-side observability (None when config.telemetry is off);
+        #: pure observation -- it never changes simulated behaviour
+        self.telemetry: Optional[TelemetryCollector] = None
+        if config.telemetry:
+            self.telemetry = TelemetryCollector(config, clock=engine)
+            self.osts.telemetry = self.telemetry
+            self.mds.telemetry = self.telemetry
         self._writeback_delay = writeback_delay
         self._clients: Dict[int, LustreClient] = {}
         self._files: Dict[str, SimFile] = {}
@@ -231,6 +239,12 @@ class IoSystem:
         """Erasure-coded reads served by survivor reconstruction, summed
         over every node's client (0 without erasure coding or faults)."""
         return sum(c.reconstruction_events for c in self._clients.values())
+
+    def telemetry_timeline(self) -> Optional[TelemetryTimeline]:
+        """The frozen server-side timeline, or None with telemetry off."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.timeline()
 
 
 class PosixIo:

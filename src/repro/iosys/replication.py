@@ -150,3 +150,14 @@ class ReplicatedLayout:
             ).items():
                 acc[ost] = acc.get(ost, 0) + nbytes
         return acc
+
+    def osts_touched(self, offset: int, length: int) -> Tuple[int, ...]:
+        """Devices of the full footprint (all copies), primary copy first."""
+        seen: set = set()
+        out: List[int] = []
+        for r in range(self.replica_count):
+            for ost in self.replica(r).osts_touched(offset, length):
+                if ost not in seen:
+                    seen.add(ost)
+                    out.append(ost)
+        return tuple(out)

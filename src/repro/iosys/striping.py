@@ -90,6 +90,28 @@ class StripeLayout:
             acc[ext.ost] = acc.get(ext.ost, 0) + ext.length
         return acc
 
+    def osts_touched(self, offset: int, length: int) -> Tuple[int, ...]:
+        """The devices an extent touches, in stripe order -- the cheap
+        footprint query (pure integer math, no per-extent records) for
+        callers that need the set but not the byte split."""
+        if length <= 0:
+            return ()
+        first = offset // self.stripe_size
+        last = (offset + length - 1) // self.stripe_size
+        if first == last:  # single-stripe extent: the overwhelmingly
+            return (       # common case on record-sized workloads
+                (self.start_ost + first % self.stripe_count) % self.n_osts,
+            )
+        nstripes = last - first + 1
+        out = []
+        seen = set()
+        for k in range(first, first + min(nstripes, self.stripe_count)):
+            ost = self.ost_of_stripe(k)
+            if ost not in seen:
+                seen.add(ost)
+                out.append(ost)
+        return tuple(out)
+
     def boundary_crossings(self, offset: int, length: int) -> int:
         """Number of stripe boundaries strictly inside the extent."""
         if length <= 0:

@@ -23,10 +23,32 @@ from typing import Any, Callable, Deque, Optional, Tuple
 
 from .engine import Engine, Event, SimulationError
 
-__all__ = ["SlotChannel", "SharedPipe", "Server", "Lock", "Semaphore"]
+__all__ = [
+    "FifoQueueMixin",
+    "SlotChannel",
+    "SharedPipe",
+    "Server",
+    "Lock",
+    "Semaphore",
+]
 
 
-class SlotChannel:
+class FifoQueueMixin:
+    """Queue-depth accounting shared by every FIFO resource that keeps its
+    pending requests in ``_queue`` and its in-flight count in ``_busy``
+    (:class:`SlotChannel`, :class:`Server`, and the metadata server that
+    wraps one)."""
+
+    _queue: Deque
+    _busy: int
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests pending or in service right now."""
+        return len(self._queue) + self._busy
+
+
+class SlotChannel(FifoQueueMixin):
     """Bandwidth channel with ``slots`` fixed-share service lanes.
 
     Transfers are queued FIFO.  Up to ``slots`` transfers are in flight at
@@ -72,10 +94,6 @@ class SlotChannel:
         self._queue.append((float(nbytes), done, float(factor)))
         self._drain()
         return done
-
-    @property
-    def queue_depth(self) -> int:
-        return len(self._queue) + self._busy
 
     def _drain(self) -> None:
         while self._queue and self._busy < self.slots:
@@ -187,7 +205,7 @@ class SharedPipe:
         self._rearm()
 
 
-class Server:
+class Server(FifoQueueMixin):
     """A FIFO request server: ``concurrency`` requests in flight, each taking
     ``overhead + nbytes/rate`` (scaled by a per-request factor).
 
@@ -226,10 +244,6 @@ class Server:
         self._queue.append((float(nbytes), float(factor), done))
         self._drain()
         return done
-
-    @property
-    def queue_depth(self) -> int:
-        return len(self._queue) + self._busy
 
     def _drain(self) -> None:
         while self._queue and self._busy < self.concurrency:

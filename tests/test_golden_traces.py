@@ -52,10 +52,29 @@ def canonical_lines(trace) -> list:
     return lines
 
 
+def _hex_floats(obj):
+    """Recursively replace floats with ``float.hex`` strings (exact,
+    locale-free) so nested telemetry structures canonicalise like the
+    event stream does."""
+    if isinstance(obj, float):
+        return obj.hex()
+    if isinstance(obj, dict):
+        return {k: _hex_floats(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_hex_floats(v) for v in obj]
+    return obj
+
+
+def telemetry_digest(timeline) -> str:
+    """Canonical hash of a server-side telemetry export."""
+    canon = json.dumps(_hex_floats(timeline.to_dict()), sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
 def digest(result) -> dict:
     lines = canonical_lines(result.trace)
     sha = hashlib.sha256("\n".join(lines).encode()).hexdigest()
-    return {
+    out = {
         "format": FORMAT,
         "n_events": len(lines),
         "total_bytes": int(result.total_bytes),
@@ -65,6 +84,9 @@ def digest(result) -> dict:
         "first_event": lines[0] if lines else "",
         "last_event": lines[-1] if lines else "",
     }
+    if getattr(result, "telemetry", None) is not None:
+        out["telemetry_sha256"] = telemetry_digest(result.telemetry)
+    return out
 
 
 # -- the three scenarios -------------------------------------------------------
@@ -98,11 +120,23 @@ def _scenario_madbench_read():
     return run_madbench(cfg)
 
 
-def _scenario_slow_ost_stall():
-    """Shared-file records against a statically slow OST plus a scheduled
-    transient stall, with the client retry/backoff path enabled -- locks
-    the fault-injection and recovery subsystem into the golden digest."""
-    machine = MachineConfig.testbox(
+def _shared_writer(ctx, nrec, path):
+    if ctx.rank == 0 and ctx.iosys.lookup(path) is None:
+        ctx.iosys.set_stripe_count(path, ctx.machine.n_osts)
+        fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+        yield from ctx.comm.barrier()
+    else:
+        yield from ctx.comm.barrier()
+        fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+    base = ctx.rank * nrec * MiB
+    for j in range(nrec):
+        yield from ctx.io.pwrite(fd, MiB, base + j * MiB)
+    yield from ctx.io.close(fd)
+    return None
+
+
+def _stall_machine(**extra):
+    return MachineConfig.testbox(
         n_osts=16,
         fs_bw=2048 * MiB,
         discipline_weights={4: 1.0},
@@ -110,24 +144,41 @@ def _scenario_slow_ost_stall():
     ).with_overrides(
         faults=FaultSchedule.of(FaultWindow(STALL, 0.3, 0.9, device=5)),
         client_retry=True,
+        **extra,
     )
 
-    def writer(ctx, nrec, path):
-        if ctx.rank == 0 and ctx.iosys.lookup(path) is None:
-            ctx.iosys.set_stripe_count(path, ctx.machine.n_osts)
-            fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
-            yield from ctx.comm.barrier()
-        else:
-            yield from ctx.comm.barrier()
-            fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
-        base = ctx.rank * nrec * MiB
-        for j in range(nrec):
-            yield from ctx.io.pwrite(fd, MiB, base + j * MiB)
-        yield from ctx.io.close(fd)
-        return None
 
+def _scenario_slow_ost_stall():
+    """Shared-file records against a statically slow OST plus a scheduled
+    transient stall, with the client retry/backoff path enabled -- locks
+    the fault-injection and recovery subsystem into the golden digest."""
+    job = SimJob(_stall_machine(), 8, seed=13, placement="packed")
+    return job.run(_shared_writer, 60, "/scratch/golden.dat")
+
+
+def _scenario_telemetry_stall():
+    """The identical slow-OST-plus-stall workload with server-side
+    telemetry recording -- locks the per-device counter export into a
+    golden digest, and (because telemetry is pure observation) its event
+    stream must stay byte-identical to ``slow_ost_stall``'s, which
+    ``test_telemetry_is_pure_observation`` pins."""
+    job = SimJob(
+        _stall_machine(telemetry=True), 8, seed=13, placement="packed"
+    )
+    return job.run(_shared_writer, 60, "/scratch/golden.dat")
+
+
+def _scenario_telemetry_healthy():
+    """The same recorded workload with no slow device and no fault: the
+    negative control pinning down that a healthy pool's telemetry shows
+    no retries, no degraded traffic, and an empty truth set."""
+    machine = MachineConfig.testbox(
+        n_osts=16,
+        fs_bw=2048 * MiB,
+        discipline_weights={4: 1.0},
+    ).with_overrides(client_retry=True, telemetry=True)
     job = SimJob(machine, 8, seed=13, placement="packed")
-    return job.run(writer, 60, "/scratch/golden.dat")
+    return job.run(_shared_writer, 60, "/scratch/golden.dat")
 
 
 def _scenario_replica_failover():
@@ -234,6 +285,8 @@ SCENARIOS = {
     "replica_failover": _scenario_replica_failover,
     "ec_degraded_read": _scenario_ec_degraded_read,
     "ec_healthy": _scenario_ec_healthy,
+    "telemetry_stall": _scenario_telemetry_stall,
+    "telemetry_healthy": _scenario_telemetry_healthy,
 }
 
 
@@ -277,6 +330,41 @@ def test_ec_scenarios_bracket_the_fault():
     assert len(degraded.trace.filter(ops=["degraded-read"])) > 0
     assert healthy.meta["reconstructions"] == 0
     assert len(healthy.trace.filter(ops=["degraded-read"])) == 0
+
+
+def test_telemetry_is_pure_observation():
+    """Recording server-side telemetry must not perturb the simulation:
+    the recorded run's event stream is byte-identical to the same
+    scenario with telemetry off."""
+    base = digest(SCENARIOS["slow_ost_stall"]())
+    tel = digest(SCENARIOS["telemetry_stall"]())
+    for key in ("sha256", "n_events", "total_bytes", "elapsed_hex"):
+        assert tel[key] == base[key], key
+
+
+def test_telemetry_scenarios_bracket_the_fault():
+    """The recorded stall scenario must show the injected truth on the
+    right device and the healthy control must show none -- guards
+    against both telemetry goldens drifting into digests of the wrong
+    counters."""
+    stall = SCENARIOS["telemetry_stall"]()
+    tl = stall.telemetry
+    assert tl is not None
+    totals = tl.device_totals()
+    assert totals["retries"][5] > 0
+    assert totals["retries"].sum() == totals["retries"][5]
+    assert tl.faulted_devices(0.0, tl.span) == (5,)
+    assert tl.slow_devices() == (3,)
+
+    healthy = SCENARIOS["telemetry_healthy"]()
+    htl = healthy.telemetry
+    assert htl is not None
+    assert htl.is_healthy
+    htot = htl.device_totals()
+    for field in ("retries", "degraded_bytes", "recon_bytes",
+                  "stale_bytes", "parity_bytes"):
+        assert htot[field].sum() == 0, field
+    assert htot["bytes_in"].sum() > 0
 
 
 def test_back_to_back_runs_are_byte_identical():

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.sim.engine import Engine, SimulationError
-from repro.sim.resources import Lock, Semaphore, Server, SharedPipe, SlotChannel
+from repro.sim.resources import (
+    FifoQueueMixin,
+    Lock,
+    Semaphore,
+    Server,
+    SharedPipe,
+    SlotChannel,
+)
 
 
 def completions(engine, events):
@@ -145,6 +152,50 @@ class TestServer:
         for _ in range(5):
             srv.request(10.0)
         assert srv.queue_depth == 5
+
+
+class TestFifoQueueMixin:
+    """Queue-depth accounting is one helper shared by every FIFO resource,
+    and it must read correctly *while* requests contend -- the telemetry
+    layer samples it mid-service."""
+
+    def test_shared_by_channel_and_server(self):
+        assert issubclass(SlotChannel, FifoQueueMixin)
+        assert issubclass(Server, FifoQueueMixin)
+        # one property object, not two copies that could drift
+        assert SlotChannel.queue_depth is FifoQueueMixin.queue_depth
+        assert Server.queue_depth is FifoQueueMixin.queue_depth
+
+    def test_depth_counts_pending_plus_in_service(self, engine):
+        srv = Server(engine, rate=10.0, concurrency=2)
+        evs = [srv.request(10.0) for _ in range(6)]
+        # 2 admitted immediately, 4 still queued
+        assert srv.queue_depth == 6
+        seen = []
+        for ev in evs:
+            ev.add_callback(lambda e: seen.append((engine.now, srv.queue_depth)))
+        engine.run()
+        # pairs share the rate and drain at 2 s intervals
+        assert [t for t, _ in seen] == [2.0, 2.0, 4.0, 4.0, 6.0, 6.0]
+        depths = [d for _, d in seen]
+        assert depths == sorted(depths, reverse=True)
+        assert depths[0] <= 6
+        assert srv.queue_depth == 0
+
+    def test_depth_observable_mid_service(self, engine):
+        ch = SlotChannel(engine, bandwidth=1.0, slots=1)
+        for _ in range(3):
+            ch.transfer(10.0)  # serial: one finishes every 10 s
+        samples = {}
+
+        def probe(t):
+            yield engine.timeout(t)
+            samples[t] = ch.queue_depth
+
+        for t in (5.0, 15.0, 25.0, 35.0):
+            engine.process(probe(t))
+        engine.run()
+        assert samples == {5.0: 3, 15.0: 2, 25.0: 1, 35.0: 0}
 
 
 class TestLock:

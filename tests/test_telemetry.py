@@ -1,0 +1,414 @@
+"""Unit and property tests for the server-side telemetry layer.
+
+Three families:
+
+- *collector mechanics* under a fake clock: bucketing on the ``dt``
+  grid, the same-timestamp cache, sparse accumulation, and max-depth
+  queue sampling under overlapping ops;
+- *timeline queries*: windowed totals, ground-truth fault lookups,
+  serialisation round-trips, and the operator summary;
+- *conservation properties* (Hypothesis): on seeded workloads with
+  arbitrary stall windows and drawn redundancy (none / mirrored /
+  erasure-coded), the telemetry export agrees exactly with the pool's
+  own counters, and the write-amplification identities hold --
+  ``bytes_in + stale == k * payload`` for mirrors,
+  ``bytes_in == payload + parity`` for erasure coding.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.harness import SimJob
+from repro.iosys.faults import DEGRADE, STALL, FaultSchedule, FaultWindow
+from repro.iosys.machine import KiB, MachineConfig, MiB
+from repro.iosys.posix import O_CREAT, O_RDWR
+from repro.iosys.telemetry import (
+    MDS_FIELDS,
+    OST_FIELDS,
+    TelemetryCollector,
+    TelemetryTimeline,
+)
+
+N_OSTS = 8
+
+
+def make_collector(dt=0.5, n_osts=4, **overrides):
+    """A collector on a testbox config, driven by a settable fake clock."""
+    clock = SimpleNamespace(now=0.0)
+    cfg = MachineConfig.testbox(n_osts=n_osts).with_overrides(
+        telemetry=True, telemetry_dt=dt, **overrides
+    )
+    return TelemetryCollector(cfg, clock=clock), clock
+
+
+# -- collector mechanics -------------------------------------------------------
+
+
+class TestCollector:
+    def test_rejects_nonpositive_dt(self):
+        bad = SimpleNamespace(telemetry_dt=0.0, n_osts=4)
+        with pytest.raises(ValueError, match="telemetry_dt"):
+            TelemetryCollector(bad, clock=SimpleNamespace(now=0.0))
+        # the config layer refuses to build such a machine in the first place
+        with pytest.raises(ValueError, match="telemetry_dt"):
+            MachineConfig.testbox().with_overrides(telemetry_dt=-1.0)
+
+    def test_counters_land_in_time_buckets(self):
+        col, clock = make_collector(dt=0.5)
+        col.record_write(0, 100.0)
+        clock.now = 0.4  # still bucket 0
+        col.record_write(0, 50.0)
+        clock.now = 1.2  # bucket 2; bucket 1 stays empty
+        col.record_write(1, 10.0)
+        col.record_read(1, 7.0)
+        col.record_rpcs(1, 3)
+        tl = col.timeline()
+        assert tl.n_buckets == 3
+        assert tl.ost["bytes_in"][0, 0] == 150.0
+        assert tl.ost["bytes_in"][1].sum() == 0.0
+        assert tl.ost["bytes_in"][2, 1] == 10.0
+        assert tl.ost["bytes_out"][2, 1] == 7.0
+        assert tl.ost["rpcs"][2, 1] == 3.0
+
+    def test_same_timestamp_cache_tracks_the_clock(self):
+        """The cache must not pin the bucket after the clock moves on."""
+        col, clock = make_collector(dt=1.0)
+        clock.now = 0.9
+        col.record_write(0, 1.0)
+        col.record_write(0, 1.0)  # cache hit, same bucket
+        clock.now = 1.0  # bucket boundary exactly
+        col.record_write(0, 5.0)
+        clock.now = 0.9  # hooks at a revisited timestamp still re-bucket
+        col.record_write(0, 2.0)
+        tl = col.timeline()
+        assert tl.ost["bytes_in"][0, 0] == 4.0
+        assert tl.ost["bytes_in"][1, 0] == 5.0
+
+    def test_queue_depth_is_per_bucket_max(self):
+        col, clock = make_collector(dt=1.0)
+        col.op_begin([0])
+        col.op_begin([0])  # live depth 2
+        col.op_end([0])
+        col.op_begin([0])  # back to 2: bucket max stays 2
+        clock.now = 1.5  # live depth carries across buckets
+        col.op_begin([0])  # depth 3 observed in bucket 1
+        col.op_end([0])
+        col.op_end([0])
+        col.op_end([0])
+        tl = col.timeline()
+        assert tl.ost["queue_depth"][0, 0] == 2.0
+        assert tl.ost["queue_depth"][1, 0] == 3.0
+
+    def test_queue_depth_drains_between_ops(self):
+        col, clock = make_collector(dt=1.0)
+        col.op_begin([0, 1])
+        col.op_end([0, 1])
+        clock.now = 2.0
+        col.op_begin([1])  # fully drained: depth restarts at 1
+        col.op_end([1])
+        tl = col.timeline()
+        assert tl.ost["queue_depth"][0, 1] == 1.0
+        assert tl.ost["queue_depth"][2, 1] == 1.0
+
+    def test_dict_valued_hooks_attribute_per_device(self):
+        col, _ = make_collector(dt=1.0)
+        col.record_degraded({1: 100, 2: 50})
+        col.record_stale({3: 25})
+        col.record_recon(2, 10.0)
+        col.record_parity(0, 5.0)
+        col.record_retries([1, 3], n=2)
+        tl = col.timeline()
+        assert tl.ost["degraded_bytes"][0, 1] == 100.0
+        assert tl.ost["degraded_bytes"][0, 2] == 50.0
+        assert tl.ost["stale_bytes"][0, 3] == 25.0
+        assert tl.ost["recon_bytes"][0, 2] == 10.0
+        assert tl.ost["parity_bytes"][0, 0] == 5.0
+        assert tl.ost["retries"][0, 1] == 2.0
+        assert tl.ost["retries"][0, 3] == 2.0
+
+    def test_mds_ops_count_and_queue_max(self):
+        col, clock = make_collector(dt=1.0)
+        col.record_mds(queue_depth=3)
+        col.record_mds(queue_depth=1)
+        clock.now = 1.1
+        col.record_mds(queue_depth=2)
+        tl = col.timeline()
+        assert tl.mds["mds_ops"][0] == 2.0
+        assert tl.mds["mds_queue"][0] == 3.0
+        assert tl.mds["mds_ops"][1] == 1.0
+        assert tl.mds["mds_queue"][1] == 2.0
+
+    def test_empty_collector_exports_one_zero_bucket(self):
+        col, _ = make_collector()
+        tl = col.timeline()
+        assert tl.n_buckets == 1
+        for name in OST_FIELDS:
+            assert tl.ost[name].shape == (1, 4)
+            assert tl.ost[name].sum() == 0.0
+        for name in MDS_FIELDS:
+            assert tl.mds[name].shape == (1,)
+        assert tl.is_healthy
+
+    def test_timeline_carries_the_fault_schedule_verbatim(self):
+        sched = FaultSchedule.of(
+            FaultWindow(STALL, 1.0, 2.0, device=2),
+            FaultWindow(DEGRADE, 0.5, 1.5, device=1, factor=3.0),
+        )
+        col, _ = make_collector(
+            dt=0.5, faults=sched, ost_slowdown={3: 4.0}
+        )
+        tl = col.timeline()
+        assert tl.fault_windows == sched.windows
+        assert tl.ost_slowdown == {3: 4.0}
+        assert not tl.is_healthy
+
+
+# -- timeline queries ----------------------------------------------------------
+
+
+@pytest.fixture()
+def timeline():
+    """Three buckets of hand-placed traffic plus an injected fault mix."""
+    col, clock = make_collector(
+        dt=1.0,
+        faults=FaultSchedule.of(FaultWindow(STALL, 1.0, 2.0, device=2)),
+        ost_slowdown={1: 4.0},
+    )
+    col.record_write(0, 100.0)
+    col.op_begin([0])
+    col.op_begin([0])
+    col.op_end([0])
+    col.op_end([0])
+    clock.now = 1.5
+    col.record_write(0, 40.0)
+    col.record_read(2, 30.0)
+    col.op_begin([0])
+    col.op_end([0])
+    clock.now = 2.5
+    col.record_read(2, 60.0)
+    return col.timeline()
+
+
+class TestTimeline:
+    def test_shape_and_times(self, timeline):
+        assert timeline.n_buckets == 3
+        assert timeline.span == 3.0
+        assert np.array_equal(timeline.times(), [0.0, 1.0, 2.0])
+
+    def test_window_totals_sum_bytes_but_max_queues(self, timeline):
+        w = timeline.window_totals(0.0, 2.0, device=0)
+        assert w["bytes_in"] == 140.0
+        assert w["queue_depth"] == 2.0  # max across buckets, not 3
+        whole = timeline.window_totals(0.0, 10.0)
+        assert whole["bytes_out"] == 90.0
+
+    def test_device_totals(self, timeline):
+        totals = timeline.device_totals()
+        assert totals["bytes_in"][0] == 140.0
+        assert totals["bytes_out"][2] == 90.0
+        assert totals["queue_depth"][0] == 2.0
+
+    def test_faulted_devices_and_overlap(self, timeline):
+        assert timeline.faulted_devices(0.0, 3.0) == (2,)
+        assert timeline.faulted_devices(2.5, 3.0) == ()
+        assert timeline.faulted_devices(0.0, 3.0, kinds=(DEGRADE,)) == ()
+        assert timeline.fault_overlap(2, 0.0, 1.5) == pytest.approx(0.5)
+        assert timeline.fault_overlap(0, 0.0, 3.0) == 0.0
+
+    def test_slow_devices_threshold(self, timeline):
+        assert timeline.slow_devices() == (1,)
+        assert timeline.slow_devices(min_factor=5.0) == ()
+
+    def test_utilization_is_clipped_and_rate_scaled(self, timeline):
+        util = timeline.utilization()
+        assert util.shape == (3, timeline.n_osts)
+        assert (util >= 0.0).all()
+        rate = max(timeline.ost_write_rate, timeline.ost_read_rate)
+        assert util[0, 0] == pytest.approx(100.0 / rate)
+
+    def test_zero_rate_utilization_is_all_zero(self, timeline):
+        from dataclasses import replace
+
+        flat = replace(timeline, ost_write_rate=0.0, ost_read_rate=0.0)
+        assert flat.utilization().sum() == 0.0
+
+    def test_dict_roundtrip_is_lossless_and_json_safe(self, timeline):
+        d = timeline.to_dict()
+        json.dumps(d)  # must be serialisable as-is
+        back = TelemetryTimeline.from_dict(d)
+        assert back.dt == timeline.dt
+        assert back.n_osts == timeline.n_osts
+        for name in OST_FIELDS:
+            assert np.array_equal(back.ost[name], timeline.ost[name])
+        for name in MDS_FIELDS:
+            assert np.array_equal(back.mds[name], timeline.mds[name])
+        assert back.fault_windows == timeline.fault_windows
+        assert back.ost_slowdown == timeline.ost_slowdown
+
+    def test_format_summary_names_traffic_and_faults(self, timeline):
+        text = timeline.format_summary()
+        assert "server telemetry" in text
+        assert "OST   0" in text
+        assert f"fault: {STALL} on OST 2" in text
+        assert "static 4x slowdown on OST 1" in text
+        assert "healthy" not in text
+
+    def test_format_summary_healthy(self):
+        col, _ = make_collector()
+        assert "healthy pool" in col.timeline().format_summary()
+
+
+# -- queue-depth sampling under real contention --------------------------------
+
+
+def _contended_worker(ctx, path):
+    """Every rank hammers one single-stripe file: all I/O on one OST."""
+    if ctx.rank == 0:
+        ctx.iosys.set_stripe_count(path, 1)
+    yield from ctx.comm.barrier()
+    fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+    for j in range(4):
+        yield from ctx.io.pwrite(fd, 256 * KiB, (ctx.rank * 4 + j) * 256 * KiB)
+    yield from ctx.io.close(fd)
+    return None
+
+
+def test_queue_depth_sampled_under_contention():
+    """With every rank aimed at a one-stripe file, the shared OST must
+    show concurrent client ops while the untouched devices show none."""
+    machine = MachineConfig.testbox(n_osts=4).with_overrides(telemetry=True)
+    job = SimJob(machine, 6, seed=3, placement="packed")
+    res = job.run(_contended_worker, "/scratch/contend")
+    tl = res.telemetry
+    depth = tl.device_totals()["queue_depth"]
+    busy = tl.device_totals()["bytes_in"]
+    hot = int(np.argmax(busy))
+    # all bytes landed on the single striped device
+    assert busy[hot] == pytest.approx(busy.sum())
+    assert depth[hot] >= 2  # six ranks genuinely overlapped
+    for d in range(4):
+        if d != hot:
+            assert depth[d] == 0.0
+
+
+# -- conservation properties (Hypothesis) --------------------------------------
+
+RECORD = 256 * KiB
+NREC = 8
+NTASKS = 4
+
+
+def _prop_worker(ctx, base):
+    path = f"{base}.{ctx.rank:04d}"
+    ctx.iosys.set_stripe_count(path, 4)
+    fd = yield from ctx.io.open(path, O_CREAT | O_RDWR)
+    ctx.io.region("write")
+    for j in range(NREC):
+        yield from ctx.io.pwrite(fd, RECORD, j * RECORD)
+    yield from ctx.comm.barrier()
+    ctx.io.region("read")
+    for j in range(NREC):
+        yield from ctx.io.pread(fd, RECORD, j * RECORD)
+    yield from ctx.io.close(fd)
+    return None
+
+
+def _simulate(redundancy, stall_t0, stall_span, device, seed):
+    sched = FaultSchedule.of(
+        FaultWindow(STALL, stall_t0, stall_t0 + stall_span, device=device)
+    )
+    machine = MachineConfig.testbox(
+        n_osts=N_OSTS,
+        fs_bw=1024 * MiB,
+        fs_read_bw=1024 * MiB,
+        default_stripe_count=4,
+        discipline_weights={2: 1.0},
+    ).with_overrides(
+        faults=sched,
+        telemetry=True,
+        client_retry=True,
+        client_failover=True,
+        retry_base_timeout=0.05,
+        retry_max_timeout=0.8,
+        rpc_resend_interval=2.0,
+        failover_probe_interval=0.5,
+        **redundancy,
+    )
+    job = SimJob(machine, NTASKS, seed=seed, placement="packed")
+    return job.run(_prop_worker, "/scratch/telprop")
+
+
+@st.composite
+def redundancy_modes(draw):
+    mode = draw(st.sampled_from(["plain", "mirror", "ec"]))
+    if mode == "mirror":
+        return {"replica_count": draw(st.integers(2, 3))}
+    if mode == "ec":
+        return {"ec_k": 4, "ec_m": draw(st.integers(1, 2))}
+    return {}
+
+
+@given(
+    redundancy=redundancy_modes(),
+    stall_t0=st.floats(0.0, 1.0, allow_nan=False),
+    stall_span=st.floats(0.05, 1.0, allow_nan=False),
+    device=st.integers(0, N_OSTS - 1),
+    seed=st.integers(0, 1000),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_telemetry_agrees_with_pool_counters(
+    redundancy, stall_t0, stall_span, device, seed
+):
+    """The telemetry export is an exact second set of books: whatever
+    redundancy and stall schedule Hypothesis draws, every per-device
+    counter matches the pool's own accounting, and the byte totals obey
+    the redundancy's write-amplification identity."""
+    res = _simulate(redundancy, stall_t0, stall_span, device, seed)
+    tl = res.telemetry
+    pool = res.iosys.osts
+    totals = tl.device_totals()
+    assert np.allclose(totals["bytes_in"], pool.bytes_written)
+    assert np.allclose(totals["bytes_out"], pool.bytes_read)
+    assert np.allclose(totals["rpcs"], pool.rpcs)
+    assert np.allclose(totals["recon_bytes"], pool.recon_reads)
+    assert totals["stale_bytes"].sum() == pytest.approx(
+        float(pool.stale_bytes)
+    )
+    assert totals["parity_bytes"].sum() == pytest.approx(
+        float(pool.parity_bytes)
+    )
+
+    payload = NTASKS * NREC * RECORD
+    bytes_in = totals["bytes_in"].sum()
+    parity = totals["parity_bytes"].sum()
+    stale = totals["stale_bytes"].sum()
+    if "replica_count" in redundancy:
+        # every copy of every byte is written or owed to resync
+        k = redundancy["replica_count"]
+        assert bytes_in + stale == pytest.approx(k * payload)
+        assert parity == 0.0
+    elif "ec_k" in redundancy:
+        # data bytes land once; everything beyond payload is parity
+        assert bytes_in == pytest.approx(payload + parity)
+        assert parity > 0.0
+        assert stale == 0.0
+        # reads either hit the data devices or were reconstructed
+        assert totals["bytes_out"].sum() <= payload + 1e-6
+    else:
+        assert bytes_in == pytest.approx(payload)
+        assert parity == 0.0 and stale == 0.0
+        assert totals["bytes_out"].sum() == pytest.approx(payload)
+    # retries can only be attributed to the one stalled device
+    retried = np.nonzero(totals["retries"])[0]
+    assert set(retried) <= {device}
