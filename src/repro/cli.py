@@ -6,6 +6,9 @@
     python -m repro run-madbench [--ntasks N] [--matrix MB] [--machine NAME] ...
     python -m repro run-gcrm     [--ntasks N] [--io-tasks N] [--align]
                                  [--meta-agg] ...
+    python -m repro run-facility --tenants NAME=WORKLOAD:NTASKS[@ARRIVAL]
+                                 [--tenants ...] [--arrival SPEC]
+                                 [--victim NAME] [--machine NAME] ...
     python -m repro analyze      TRACE [--nranks N]
     python -m repro experiments  [paper|small|tiny] [fig1 ...]
 
@@ -23,6 +26,14 @@ with ``--replicate``).  Specs::
     stall:OST:T0:T1            OST drops requests in [T0, T1)
     mds:T0:T1:FACTOR           metadata ops FACTORx slower in [T0, T1)
     burst:T0:T1:FACTOR         heavy-tail probability boosted in [T0, T1)
+
+``run-facility`` admits a mix of tenant jobs onto one shared machine.
+``--arrival`` overrides the per-job ``@ARRIVAL`` offsets with a synthetic
+arrival process::
+
+    poisson:RATE               deterministic-seed Poisson, RATE jobs/s
+    burst:SIZE:GAP             back-to-back trains of SIZE jobs, GAP s apart
+    trace:T0,T1,...            explicit admission times (one per job)
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ _MACHINES = {
     "franklin-patched": MachineConfig.franklin_patched,
     "jaguar": MachineConfig.jaguar,
     "testbox": MachineConfig.testbox,
+    "shared-testbox": MachineConfig.shared_testbox,
 }
 
 
@@ -212,6 +224,73 @@ def _cmd_run_gcrm(args) -> int:
     return 0
 
 
+def _cmd_run_facility(args) -> int:
+    from .ensembles.diagnose import find_interference
+    from .ensembles.oracle import verify_interference
+    from .iosys.scheduler import (
+        Facility,
+        assign_arrivals,
+        parse_arrival_spec,
+        parse_tenant_spec,
+    )
+
+    machine = _machine(args.machine, args)
+    try:
+        jobs = [parse_tenant_spec(s) for s in args.tenants]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.arrival is not None:
+        try:
+            process = parse_arrival_spec(args.arrival)
+            jobs = list(assign_arrivals(jobs, process))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    if args.victim is not None and args.victim not in {j.name for j in jobs}:
+        raise SystemExit(
+            f"bad --victim: no tenant named {args.victim!r} in --tenants"
+        )
+    try:
+        facility = Facility(machine, jobs, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"bad facility: {exc}")
+    result = facility.run()
+
+    print(f"facility: {len(jobs)} jobs, makespan {result.elapsed:.1f} s")
+    for jr in result.jobs:
+        print(
+            f"  tenant {jr.tenant} {jr.name:12s} {jr.workload:16s} "
+            f"{jr.ntasks:4d} tasks  [{jr.t_start:6.1f}s, {jr.t_end:6.1f}s]  "
+            f"{jr.trace.total_bytes / MiB:8.1f} MiB"
+        )
+    if result.telemetry is not None:
+        print()
+        print(result.telemetry.format_summary())
+    if len(jobs) >= 2 and result.telemetry is not None:
+        victims = (
+            [result.job(args.victim)] if args.victim else result.jobs
+        )
+        findings = []
+        for jr in victims:
+            findings.extend(
+                find_interference(jr.trace, result.telemetry, jr.tenant)
+            )
+        print()
+        if findings:
+            for f in findings:
+                print(f)
+            print()
+            print(verify_interference(findings, result.telemetry).format())
+        else:
+            print("no cross-tenant interference detected")
+    if args.analyze:
+        print()
+        print(format_analysis(analyze(result.trace, nranks=None)))
+    if args.save:
+        save_trace(result.trace, args.save)
+        print(f"\ntrace saved to {args.save} ({len(result.trace)} events)")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     trace = load_trace(args.trace)
     print(format_analysis(analyze(trace, nranks=args.nranks)))
@@ -261,6 +340,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stripes", type=int, default=48)
     _add_common(p)
     p.set_defaults(fn=_cmd_run_gcrm)
+
+    p = sub.add_parser(
+        "run-facility",
+        help="admit a mix of tenant jobs onto one shared machine",
+    )
+    p.add_argument(
+        "--tenants", action="append", metavar="SPEC", required=True,
+        help="one tenant job as NAME=WORKLOAD:NTASKS[@ARRIVAL] "
+             "(repeatable; e.g. vic=checkpoint:4@0)")
+    p.add_argument(
+        "--arrival", metavar="SPEC", default=None,
+        help="override per-job arrivals with a synthetic process: "
+             "poisson:RATE, burst:SIZE:GAP, or trace:T0,T1,...")
+    p.add_argument(
+        "--victim", metavar="NAME", default=None,
+        help="diagnose cross-tenant interference for this job only "
+             "(default: every job)")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_run_facility)
 
     p = sub.add_parser("analyze", help="analyse a saved trace")
     p.add_argument("trace")

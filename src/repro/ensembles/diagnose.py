@@ -41,6 +41,11 @@ expressed as a test over the trace's ensembles.
                             :func:`~repro.ensembles.locate.find_rebuild_pressure`
                             when the layout is supplied) and the rebuild
                             fan-out the rest of the pool is carrying.
+- ``cross-tenant-interference``  (multi-tenant facilities, via
+                            :func:`find_interference`) a victim job's slow
+                            interval lines up with a co-resident tenant
+                            dominating the contended resource -- "your
+                            slowdown is tenant B's metadata storm".
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ from .distribution import EmpiricalDistribution
 from .modes import detect_modes, harmonics
 from .progress import deterioration_trend, phase_progress
 
-__all__ = ["Finding", "diagnose"]
+__all__ = ["Finding", "diagnose", "find_interference"]
 
 MiB = 1024.0 * 1024.0
 
@@ -704,3 +709,206 @@ def _check_lln(trace: Trace, nranks: int) -> List[Finding]:
             evidence={"ops_per_rank": ops_per_rank, "cv": cv},
         )
     ]
+
+
+# -- cross-tenant interference (multi-tenant facilities) ------------------------
+
+#: namespace ops whose service time is set by the metadata server
+META_OPS = ("open", "close", "stat", "fsync")
+
+
+def _slow_window(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    values: np.ndarray,
+    span: float,
+    min_slowdown: float,
+):
+    """Find the victim's slow interval: the time window covered by events
+    whose ``values`` sit ``min_slowdown``x above the run's own median,
+    with a healthy baseline on both sides (same contract as the
+    transient-fault check).  Returns ``(w0, w1, slow_mask, baseline)`` or
+    ``None``."""
+    ok = values > 0
+    if ok.sum() < 12:
+        return None
+    baseline = float(np.median(values[ok]))
+    if baseline <= 0:
+        return None
+    slow = ok & (values >= min_slowdown * baseline)
+    if slow.sum() < 3:
+        return None
+    w0 = float(starts[slow].min())
+    w1 = float(ends[slow].max())
+    if span <= 0 or (w1 - w0) >= 0.8 * span:
+        return None  # systemic for this job, not an interval
+    outside = values[ok & ((ends < w0) | (starts > w1))]
+    if len(outside) < 8 or np.median(outside) > 2.0 * baseline:
+        return None
+    return w0, w1, slow, baseline
+
+
+def _co_residents(timeline, victim: int, w0: float, w1: float) -> List[int]:
+    return [
+        t
+        for t in timeline.resident_tenants(w0, w1)
+        if t != victim and t in timeline.tenants
+    ]
+
+
+def find_interference(
+    victim_trace: Trace,
+    timeline,
+    victim: int,
+    min_slowdown: float = 3.0,
+    min_share: float = 0.6,
+) -> List[Finding]:
+    """Attribute a victim job's slow intervals to co-resident tenants.
+
+    ``victim_trace`` is the victim job's own client-side trace (times are
+    facility times); ``timeline`` is the shared facility's
+    :class:`~repro.iosys.telemetry.TelemetryTimeline` with per-tenant
+    accounting; ``victim`` is the victim's tenant id.
+
+    Two mechanisms are checked, mirroring the two ways a neighbour hurts:
+
+    - **metadata storm** -- the victim's namespace ops (open/close/stat)
+      run ``min_slowdown``x over its own median inside a contiguous
+      window, and one co-resident tenant issued ``min_share`` of the
+      co-tenant MDS load in that window *and* out-issued the victim.
+    - **bandwidth hog** -- the victim's per-byte transfer times shift the
+      same way, and one co-resident tenant moved ``min_share`` of the
+      co-tenant bytes through the most-contended device the victim was
+      using.
+
+    Each finding carries the accused tenant in ``evidence["aggressor"]``
+    so :func:`~repro.ensembles.oracle.verify_interference` can grade the
+    attribution against the server-side ledger.
+    """
+    findings: List[Finding] = []
+    if len(getattr(timeline, "tenants", {})) < 2 or victim not in timeline.tenants:
+        return findings
+    names = timeline.tenants
+    span = victim_trace.span
+
+    # -- metadata storm path ------------------------------------------------
+    meta = victim_trace.filter(ops=list(META_OPS))
+    hit = _slow_window(
+        meta.starts, meta.ends, meta.durations, span, min_slowdown
+    )
+    if hit is not None:
+        w0, w1, slow, baseline = hit
+        residents = _co_residents(timeline, victim, w0, w1)
+        ops_by = {t: timeline.tenant_mds_ops(t, w0, w1) for t in residents}
+        total_co = sum(ops_by.values())
+        own = timeline.tenant_mds_ops(victim, w0, w1)
+        if total_co > 0:
+            agg = max(ops_by, key=lambda t: ops_by[t])
+            share = ops_by[agg] / total_co
+            if share >= min_share and ops_by[agg] >= 8 and ops_by[agg] > own:
+                slowdown = float(
+                    np.median(meta.durations[slow]) / baseline
+                )
+                sev = min(0.5 + 0.1 * np.log2(max(slowdown, 1.0)), 1.0)
+                findings.append(
+                    Finding(
+                        code="cross-tenant-interference",
+                        severity=float(sev),
+                        message=(
+                            f"{int(slow.sum())} of "
+                            f"{names.get(victim, victim)}'s namespace ops "
+                            f"ran {slowdown:.0f}x slower during "
+                            f"[{w0:.1f}s, {w1:.1f}s]: co-resident tenant "
+                            f"{agg} ({names.get(agg, '?')}) issued "
+                            f"{share:.0%} of the co-tenant MDS load -- a "
+                            f"metadata storm next door"
+                        ),
+                        recommendation=(
+                            "the victim is healthy; throttle or reschedule "
+                            "the storming tenant's namespace churn, or move "
+                            "its working set to a separate metadata domain"
+                        ),
+                        evidence={
+                            "aggressor": float(agg),
+                            "victim": float(victim),
+                            "device": -1.0,
+                            "t_start": w0,
+                            "t_end": w1,
+                            "share": float(share),
+                            "slowdown": slowdown,
+                            "n_events": float(slow.sum()),
+                            "mds": 1.0,
+                        },
+                    )
+                )
+
+    # -- bandwidth hog path -------------------------------------------------
+    data = victim_trace.data_ops()
+    sizes = data.sizes.astype(float)
+    ok = (sizes > 0) & (data.durations > 0)
+    per_byte = np.zeros(len(data))
+    per_byte[ok] = data.durations[ok] / sizes[ok]
+    hit = _slow_window(data.starts, data.ends, per_byte, span, min_slowdown)
+    if hit is not None:
+        w0, w1, slow, baseline = hit
+        residents = _co_residents(timeline, victim, w0, w1)
+        touched = [
+            d
+            for d in range(timeline.n_osts)
+            if timeline.tenant_device_bytes(victim, d, w0, w1) > 0
+        ]
+        co_bytes = {
+            d: {
+                t: timeline.tenant_device_bytes(t, d, w0, w1)
+                for t in residents
+            }
+            for d in touched
+        }
+        loads = {d: sum(by.values()) for d, by in co_bytes.items()}
+        if loads and max(loads.values()) >= MiB:
+            dev = max(loads, key=lambda d: loads[d])
+            agg = max(co_bytes[dev], key=lambda t: co_bytes[dev][t])
+            share = co_bytes[dev][agg] / loads[dev]
+            own = timeline.tenant_device_bytes(victim, dev, w0, w1)
+            if (
+                share >= min_share
+                and co_bytes[dev][agg] >= MiB
+                and co_bytes[dev][agg] > own
+            ):
+                slowdown = float(np.median(per_byte[slow]) / baseline)
+                sev = min(0.5 + 0.1 * np.log2(max(slowdown, 1.0)), 1.0)
+                findings.append(
+                    Finding(
+                        code="cross-tenant-interference",
+                        severity=float(sev),
+                        message=(
+                            f"{int(slow.sum())} of "
+                            f"{names.get(victim, victim)}'s transfers ran "
+                            f"{slowdown:.0f}x slower per byte during "
+                            f"[{w0:.1f}s, {w1:.1f}s]: co-resident tenant "
+                            f"{agg} ({names.get(agg, '?')}) moved "
+                            f"{share:.0%} of the co-tenant bytes through "
+                            f"contended OST {dev} -- a bandwidth hog next "
+                            f"door"
+                        ),
+                        recommendation=(
+                            "the victim is healthy; cap the hogging "
+                            "tenant's per-OST streams or restripe its "
+                            "files off the victim's devices"
+                        ),
+                        evidence={
+                            "aggressor": float(agg),
+                            "victim": float(victim),
+                            "device": float(dev),
+                            "t_start": w0,
+                            "t_end": w1,
+                            "share": float(share),
+                            "slowdown": slowdown,
+                            "n_events": float(slow.sum()),
+                            "mds": 0.0,
+                        },
+                    )
+                )
+
+    findings.sort(key=lambda f: f.severity, reverse=True)
+    return findings

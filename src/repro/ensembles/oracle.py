@@ -44,6 +44,7 @@ __all__ = [
     "OracleReport",
     "verify_findings",
     "verify_finding",
+    "verify_interference",
     "verify_slow_osts",
     "verify_transients",
     "verify_masked",
@@ -389,3 +390,141 @@ def verify_rebuilds(
 ) -> OracleReport:
     """Score :func:`~repro.ensembles.locate.find_rebuild_pressure`."""
     return _verify_located("rebuild-pressure", pressure, timeline, slack)
+
+
+# -- cross-tenant interference attributions -------------------------------------
+
+def _interference_verdict(
+    finding: Finding,
+    timeline: TelemetryTimeline,
+    slack: float,
+    min_share: float,
+) -> OracleVerdict:
+    ev = finding.evidence
+    agg = int(ev.get("aggressor", -1))
+    victim = int(ev.get("victim", -1))
+    t0 = float(ev.get("t_start", 0.0))
+    t1 = float(ev.get("t_end", timeline.span))
+    raw_dev = ev.get("device", -1.0)
+    device = None if raw_dev is None or raw_dev < 0 else int(raw_dev)
+    is_mds = bool(ev.get("mds", 0.0))
+    lo, hi = t0 - slack, t1 + slack
+
+    def verdict(kind: str, dm, wm, overlap: float, detail: str):
+        return OracleVerdict(
+            code=finding.code,
+            verdict=kind,
+            device=device,
+            truth_devices=(device,) if device is not None and dm else (),
+            t_start=t0,
+            t_end=t1,
+            device_match=dm,
+            window_match=wm,
+            overlap=overlap,
+            detail=detail,
+        )
+
+    # residency: the ledger must show the accused tenant on the machine
+    # inside the (slackened) window at all
+    windows = [w for w in timeline.job_windows if w.tenant == agg]
+    if agg not in timeline.tenants or not windows:
+        return verdict(
+            CONTRADICTED, None, False, 0.0,
+            f"accused tenant {agg} is not in the facility's job ledger",
+        )
+    overlap = max(
+        (min(w.t_end, hi) - max(w.t_start, lo) for w in windows),
+        default=0.0,
+    )
+    if overlap <= 0.0:
+        return verdict(
+            CONTRADICTED, None, False, 0.0,
+            f"tenant {agg} ({timeline.tenants[agg]}) was not resident "
+            f"during [{t0:.1f}s, {t1:.1f}s]",
+        )
+
+    # dominance: the ledger's own counters must agree the accused tenant
+    # dominated the contended resource among the victim's co-tenants
+    others = [t for t in timeline.tenants if t != victim]
+    if is_mds:
+        load = {t: timeline.tenant_mds_ops(t, lo, hi) for t in others}
+        resource = "MDS ops"
+    elif device is not None:
+        load = {
+            t: timeline.tenant_device_bytes(t, device, lo, hi)
+            for t in others
+        }
+        resource = f"bytes on OST {device}"
+    else:
+        load = {
+            t: sum(
+                timeline.tenant_device_bytes(t, d, lo, hi)
+                for d in range(timeline.n_osts)
+            )
+            for t in others
+        }
+        resource = "pool bytes"
+    total = sum(load.values())
+    agg_load = load.get(agg, 0.0)
+    share = agg_load / total if total > 0 else 0.0
+    dominant = total > 0 and max(load, key=lambda t: load[t]) == agg
+    if dominant and share >= min_share:
+        return verdict(
+            CONFIRMED, True if device is not None else None, True, overlap,
+            f"ledger agrees: tenant {agg} ({timeline.tenants[agg]}) "
+            f"issued {share:.0%} of co-tenant {resource} in the window",
+        )
+    truly = max(load, key=lambda t: load[t]) if total > 0 else None
+    return verdict(
+        CONTRADICTED, False if device is not None else None, True, overlap,
+        f"ledger attributes only {share:.0%} of co-tenant {resource} to "
+        f"tenant {agg}"
+        + (
+            f"; tenant {truly} ({timeline.tenants.get(truly, '?')}) "
+            f"dominated instead"
+            if truly is not None and truly != agg
+            else ""
+        ),
+    )
+
+
+def verify_interference(
+    findings: Sequence[Finding],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+    min_share: float = 0.5,
+) -> OracleReport:
+    """Score :func:`~repro.ensembles.diagnose.find_interference`
+    attributions against the facility's server-side ledger.
+
+    An attribution is CONFIRMED when the accused tenant (a) appears in
+    the job-residency ledger overlapping the claimed window and (b) the
+    per-tenant counters show it dominating the contended resource -- MDS
+    ops for a metadata-storm claim, per-device bytes for a bandwidth
+    claim -- with at least ``min_share`` of the co-tenant load.  Naming a
+    tenant that was never resident, or one the counters show as a minor
+    player, is CONTRADICTED.  Non-interference findings come back
+    UNVERIFIED (use :func:`verify_findings` for fault-kind findings).
+    """
+    verdicts: List[OracleVerdict] = []
+    for f in findings:
+        if f.code != "cross-tenant-interference":
+            verdicts.append(
+                OracleVerdict(
+                    code=f.code,
+                    verdict=UNVERIFIED,
+                    device=None,
+                    truth_devices=(),
+                    t_start=0.0,
+                    t_end=timeline.span,
+                    device_match=None,
+                    window_match=None,
+                    overlap=0.0,
+                    detail="not an interference attribution",
+                )
+            )
+            continue
+        verdicts.append(
+            _interference_verdict(f, timeline, slack, min_share)
+        )
+    return _report(verdicts)

@@ -16,6 +16,7 @@ from . import (
     fig_erasure,
     fig_failover,
     fig_faults,
+    fig_interference,
     fig_telemetry,
     saturation,
 )
@@ -32,6 +33,7 @@ ALL_EXPERIMENTS = {
     "failover": fig_failover,
     "erasure": fig_erasure,
     "telemetry": fig_telemetry,
+    "interference": fig_interference,
 }
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "fig_erasure",
     "fig_failover",
     "fig_faults",
+    "fig_interference",
     "fig_telemetry",
     "saturation",
 ]

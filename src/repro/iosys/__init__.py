@@ -11,7 +11,21 @@ from .ost import OstPool
 from .posix import O_CREAT, O_RDONLY, O_RDWR, O_SYNC, O_WRONLY, IoSystem, PosixIo, SimFile
 from .readahead import ReadAheadEngine, ReadPlan, StreamState
 from .replication import ReplicatedLayout
+from .scheduler import (
+    BurstArrivals,
+    Facility,
+    FacilityResult,
+    JobResult,
+    PoissonArrivals,
+    TenantJob,
+    TraceArrivals,
+    WORKLOADS,
+    assign_arrivals,
+    parse_arrival_spec,
+    parse_tenant_spec,
+)
 from .striping import Extent, StripeLayout
+from .telemetry import JobWindow, TelemetryCollector, TelemetryTimeline
 
 __all__ = [
     "PageCache",
@@ -48,4 +62,18 @@ __all__ = [
     "ReconstructionStep",
     "Extent",
     "StripeLayout",
+    "TenantJob",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "TraceArrivals",
+    "assign_arrivals",
+    "parse_tenant_spec",
+    "parse_arrival_spec",
+    "Facility",
+    "JobResult",
+    "FacilityResult",
+    "WORKLOADS",
+    "JobWindow",
+    "TelemetryCollector",
+    "TelemetryTimeline",
 ]

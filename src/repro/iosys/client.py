@@ -133,11 +133,34 @@ class FsArbiter:
         self._active: Dict[int, Dict[int, int]] = {}
         #: per-task throughput ceiling (client-side RPC pipeline limit)
         self.task_bw = min(config.client_bw, 100.0 * 1024 * 1024)
+        # -- cross-file OST sharing (multi-tenant machines only) ----------
+        #: when on, concurrently active files *split* each OST's streaming
+        #: rate instead of each seeing the full device -- the contention a
+        #: shared facility's co-resident jobs inflict on each other.  Off
+        #: by default: solo runs keep the original per-file model (and the
+        #: golden digests pinning it).
+        self._shared = False
+        #: file_id -> the OSTs the file's stripes live on
+        self._file_osts: Dict[int, tuple] = {}
+        #: per-OST count of distinct files with active I/O
+        self._ost_load = [0] * config.n_osts
+
+    def enable_cross_file_sharing(self) -> None:
+        self._shared = True
+
+    def register_file(self, file_id: int, osts: tuple) -> None:
+        """Declare where a file's stripes live (used only when cross-file
+        sharing is on, but registration is always harmless)."""
+        self._file_osts[file_id] = tuple(osts)
 
     def begin(self, file_id: int, node: int) -> bool:
         """Register an op; True when the node was idle on this file."""
         nodes = self._active.setdefault(file_id, {})
+        first_on_file = not nodes
         nodes[node] = nodes.get(node, 0) + 1
+        if first_on_file and self._shared:
+            for o in self._file_osts.get(file_id, ()):
+                self._ost_load[o] += 1
         return nodes[node] == 1
 
     def end(self, file_id: int, node: int) -> None:
@@ -147,6 +170,9 @@ class FsArbiter:
         nodes[node] -= 1
         if nodes[node] == 0:
             del nodes[node]
+        if not nodes and self._shared:
+            for o in self._file_osts.get(file_id, ()):
+                self._ost_load[o] -= 1
 
     def active_nodes(self, file_id: int) -> int:
         return len(self._active.get(file_id, ()))
@@ -158,9 +184,21 @@ class FsArbiter:
     def node_share(
         self, file_id: int, stripe_count: int, read: bool = False
     ) -> float:
-        """Per-node share of the file's bandwidth right now."""
+        """Per-node share of the file's bandwidth right now.
+
+        With cross-file sharing on, each of the file's OSTs contributes
+        its streaming rate *divided by the number of files actively
+        hammering it* -- a bandwidth-hog tenant striped over the pool
+        shrinks everyone else's file bandwidth.
+        """
         n = max(self.active_nodes(file_id), 1)
-        share = min(self.config.client_bw, self.file_bw(stripe_count, read) / n)
+        osts = self._file_osts.get(file_id) if self._shared else None
+        if osts:
+            rate = self.ost_read_rate if read else self.ost_write_rate
+            fbw = sum(rate / max(self._ost_load[o], 1) for o in osts)
+        else:
+            fbw = self.file_bw(stripe_count, read)
+        share = min(self.config.client_bw, fbw / n)
         return share * self._available_fraction()
 
     def _available_fraction(self) -> float:
@@ -187,6 +225,7 @@ class LustreClient:
         mds: MetadataServer,
         rng: RngStreams,
         writeback_delay: float = 30.0,
+        tenant: int = 0,
     ):
         self.engine = engine
         self.config = config
@@ -195,6 +234,8 @@ class LustreClient:
         self.osts = osts
         self.mds = mds
         self.rng = rng
+        #: owning tenant on a shared (multi-tenant) machine; 0 = untagged
+        self.tenant = tenant
         self.channel = SlotChannel(
             engine, bandwidth=config.client_bw, slots=config.tasks_per_node
         )
@@ -683,7 +724,7 @@ class LustreClient:
         if tel is not None:
             lay = file.replication or file.erasure or file.layout
             tel_devs = lay.osts_touched(offset, nbytes)
-            tel.op_begin(tel_devs)
+            tel.op_begin(tel_devs, self.tenant)
         else:
             tel_devs = ()
         # Let every same-timestamp peer register before shares are sampled.
@@ -722,7 +763,8 @@ class LustreClient:
                 # data write + parity maintenance (read-old rounds for
                 # partially covered groups), one call does the accounting
                 penalty, ec_parity_bytes = self.osts.ec_write_penalty(
-                    ec, offset, nbytes, contention=contention
+                    ec, offset, nbytes, contention=contention,
+                    tenant=self.tenant,
                 )
             else:
                 # every written copy pays its own RPCs and byte
@@ -730,7 +772,8 @@ class LustreClient:
                 # charged once
                 penalty = sum(
                     self.osts.write_penalty(
-                        lay, offset, nbytes, contention=contention
+                        lay, offset, nbytes, contention=contention,
+                        tenant=self.tenant,
                     )
                     for lay in targets
                 )
@@ -780,7 +823,7 @@ class LustreClient:
             self.token.release()
             self.arbiter.end(file.file_id, self.node_id)
             if tel_devs:
-                tel.op_end(tel_devs)
+                tel.op_end(tel_devs, self.tenant)
         self.writes += 1
         return IoResult(
             duration=self.engine.now - t0,
@@ -826,7 +869,7 @@ class LustreClient:
         if tel is not None:
             lay = file.replication or file.erasure or file.layout
             tel_devs = lay.osts_touched(offset, nbytes)
-            tel.op_begin(tel_devs)
+            tel.op_begin(tel_devs, self.tenant)
         else:
             tel_devs = ()
         yield self.engine.timeout(0.0)
@@ -869,7 +912,9 @@ class LustreClient:
             # the payload is always booked against the file's placement
             # (rebuilt bytes are still delivered to the caller); the
             # physical survivor traffic of a rebuild lands in recon_reads
-            penalty = self.osts.read_penalty(serving, offset, nbytes)
+            penalty = self.osts.read_penalty(
+                serving, offset, nbytes, tenant=self.tenant
+            )
             recon_groups = 0
             if ec_lost:
                 # data device(s) unreachable: rebuild their ranges from
@@ -878,7 +923,8 @@ class LustreClient:
                 # client wire below still carries only the payload
                 ec_pen, _fanout, recon_groups = (
                     self.osts.ec_degraded_read_penalty(
-                        ec, offset, nbytes, ec_lost, ec_avoid
+                        ec, offset, nbytes, ec_lost, ec_avoid,
+                        tenant=self.tenant,
                     )
                 )
                 penalty += ec_pen
@@ -918,7 +964,7 @@ class LustreClient:
             self.token.release()
             self.arbiter.end(file.file_id, self.node_id)
             if tel_devs:
-                tel.op_end(tel_devs)
+                tel.op_end(tel_devs, self.tenant)
         self.reads += 1
         return IoResult(
             duration=self.engine.now - t0,

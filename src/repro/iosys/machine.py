@@ -374,3 +374,18 @@ class MachineConfig:
             strided_readahead=True,
         )
         return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def shared_testbox(cls, **overrides) -> "MachineConfig":
+        """The testbox operated as a shared facility: metadata ops carry a
+        real (still deterministic) service cost and the MDS admits few at
+        once, so co-resident tenants genuinely contend for it.  Telemetry
+        is on -- a facility without a ledger cannot attribute anything."""
+        kwargs = dict(
+            name="shared-testbox",
+            mds_latency=2e-3,
+            mds_concurrency=2,
+            telemetry=True,
+        )
+        kwargs.update(overrides)
+        return cls.testbox(**kwargs)

@@ -48,14 +48,15 @@ class MetadataServer:
         else:
             self._server = None
 
-    def request(self, op: str) -> Event:
-        """Issue a metadata op; the event's value is the service time."""
+    def request(self, op: str, tenant: int = 0) -> Event:
+        """Issue a metadata op; the event's value is the service time.
+        ``tenant`` attributes the op on shared (multi-tenant) machines."""
         if op not in self.OP_COST:
             raise ValueError(f"unknown metadata op {op!r}")
         self.ops[op] += 1
         if self.telemetry is not None:
             # depth as seen by the arriving request (pure observation)
-            self.telemetry.record_mds(self.queue_depth)
+            self.telemetry.record_mds(self.queue_depth, tenant)
         if self._server is None:
             ev = self.engine.event()
             ev.succeed(0.0)

@@ -61,12 +61,14 @@ class OstPool:
         offset: int,
         length: int,
         contention: float = 1.0,
+        tenant: int = 0,
     ) -> float:
         """RPC overhead + RMW cost for a write extent; updates counters.
 
         ``contention`` scales the RMW term: a read-modify-write queues
         behind every other client hammering the same OST, so its effective
         cost grows with the population (see FsArbiter.contention).
+        ``tenant`` attributes the traffic on shared machines.
         """
         cfg = self.config
         penalty = 0.0
@@ -87,11 +89,15 @@ class OstPool:
             self.bytes_written[ost] += nbytes
             self.rpcs[ost] += share
             if tel is not None:
-                tel.record_in(ost, nbytes, share)
+                tel.record_in(ost, nbytes, share, tenant)
         return penalty
 
     def read_penalty(
-        self, layout: StripeLayout, offset: int, length: int
+        self,
+        layout: StripeLayout,
+        offset: int,
+        length: int,
+        tenant: int = 0,
     ) -> float:
         """RPC overhead for a read extent; updates counters."""
         cfg = self.config
@@ -105,7 +111,7 @@ class OstPool:
             self.bytes_read[ost] += nbytes
             self.rpcs[ost] += share
             if tel is not None:
-                tel.record_out(ost, nbytes, share)
+                tel.record_out(ost, nbytes, share, tenant)
         return n_rpcs * cfg.rpc_overhead
 
     def degraded_read_penalty(
@@ -131,6 +137,7 @@ class OstPool:
         offset: int,
         length: int,
         contention: float = 1.0,
+        tenant: int = 0,
     ) -> "tuple[float, int]":
         """Penalty and parity bytes of an erasure-coded write extent.
 
@@ -147,7 +154,9 @@ class OstPool:
         amplify the wire transfer by the parity share.
         """
         cfg = self.config
-        penalty = self.write_penalty(ec.data_layout, offset, length, contention)
+        penalty = self.write_penalty(
+            ec.data_layout, offset, length, contention, tenant
+        )
         total_parity = 0
         tel = self.telemetry
         for upd in ec.parity_updates(offset, length):
@@ -157,9 +166,9 @@ class OstPool:
                 self.bytes_written[d] += upd.nbytes
                 self.rpcs[d] += per_unit_rpcs
                 if tel is not None:
-                    tel.record_write(d, upd.nbytes)
+                    tel.record_write(d, upd.nbytes, tenant)
                     tel.record_parity(d, upd.nbytes)
-                    tel.record_rpcs(d, per_unit_rpcs)
+                    tel.record_rpcs(d, per_unit_rpcs, tenant)
             total_parity += upd.total_parity_bytes
             if not upd.full and cfg.parity_update_cost > 0:
                 self.parity_updates += 1
@@ -174,6 +183,7 @@ class OstPool:
         length: int,
         lost: "tuple[int, ...]",
         avoid: "tuple[int, ...]" = (),
+        tenant: int = 0,
     ) -> "tuple[float, int, int]":
         """Penalty and extra wire bytes of a *degraded* erasure-coded read.
 
@@ -214,7 +224,7 @@ class OstPool:
                 self.rpcs[d] += per_unit_rpcs
                 if self.telemetry is not None:
                     self.telemetry.record_recon(d, step.nbytes)
-                    self.telemetry.record_rpcs(d, per_unit_rpcs)
+                    self.telemetry.record_rpcs(d, per_unit_rpcs, tenant)
             self.recon_bytes += step.fanout_bytes
             fanout += step.nbytes * (n_surv - 1)
         return penalty, fanout, n_groups

@@ -103,6 +103,21 @@ class IoSystem:
         self._stripe_overrides: Dict[str, int] = {}
         self._replica_overrides: Dict[str, int] = {}
         self._erasure_overrides: Dict[str, "tuple[int, int]"] = {}
+        #: node -> tenant id on a shared machine (0 = untagged solo run);
+        #: set by the facility scheduler before any client exists
+        self._node_tenant: Dict[int, int] = {}
+
+    # -- tenancy -----------------------------------------------------------
+    def set_node_tenant(self, node: int, tenant: int) -> None:
+        """Tag ``node`` as belonging to ``tenant``; its client and every
+        op it issues carry the tag into telemetry.  Must run before the
+        node's first I/O (clients are built lazily on first use)."""
+        if node in self._clients:
+            raise ValueError(
+                f"node {node} already has an active client; tenancy is "
+                f"fixed before first I/O"
+            )
+        self._node_tenant[node] = int(tenant)
 
     # -- topology ----------------------------------------------------------
     def node_of(self, task: int) -> int:
@@ -131,6 +146,7 @@ class IoSystem:
                 self.mds,
                 self.rng,
                 writeback_delay=self._writeback_delay,
+                tenant=self._node_tenant.get(node, 0),
             )
             self._clients[node] = client
         return client
@@ -211,6 +227,15 @@ class IoSystem:
         )
         self._next_file_id += 1
         self._files[path] = f
+        # declare the stripe footprint to the arbiter (only consulted
+        # when cross-file sharing is on, i.e. multi-tenant facilities)
+        self.arbiter.register_file(
+            f.file_id,
+            tuple(
+                (layout.start_ost + i) % self.config.n_osts
+                for i in range(stripe_count)
+            ),
+        )
         return f
 
     def posix_for(self, task: int) -> "PosixIo":
@@ -265,9 +290,9 @@ class PosixIo:
             if not (flags & O_CREAT):
                 raise FileNotFoundError(path)
             f = self.iosys._create(path)
-            ev = self.iosys.mds.request("open_create")
+            ev = self.iosys.mds.request("open_create", tenant=self.client.tenant)
         else:
-            ev = self.iosys.mds.request("open")
+            ev = self.iosys.mds.request("open", tenant=self.client.tenant)
         yield ev
         f.opens += 1
         fd = self._next_fd
@@ -278,7 +303,7 @@ class PosixIo:
     def close(self, fd: int):
         """Generator -> None."""
         of = self._require(fd)
-        yield self.iosys.mds.request("close")
+        yield self.iosys.mds.request("close", tenant=self.client.tenant)
         of.file.opens -= 1
         del self._fds[fd]
         return None
@@ -288,7 +313,7 @@ class PosixIo:
         f = self.iosys.lookup(path)
         if f is None:
             raise FileNotFoundError(path)
-        yield self.iosys.mds.request("stat")
+        yield self.iosys.mds.request("stat", tenant=self.client.tenant)
         return f.size
 
     # -- data ops ------------------------------------------------------------
@@ -346,7 +371,7 @@ class PosixIo:
         """Generator -> None: drain this node's dirty pages + MDS sync."""
         self._require(fd)
         yield from self.client.sync(self.task)
-        yield self.iosys.mds.request("sync")
+        yield self.iosys.mds.request("sync", tenant=self.client.tenant)
         return None
 
     # -- internals ------------------------------------------------------------

@@ -42,7 +42,14 @@ import numpy as np
 from .faults import DEGRADE, STALL, FaultSchedule, FaultWindow
 from .machine import MachineConfig
 
-__all__ = ["TelemetryCollector", "TelemetryTimeline", "OST_FIELDS", "MDS_FIELDS"]
+__all__ = [
+    "TelemetryCollector",
+    "TelemetryTimeline",
+    "JobWindow",
+    "OST_FIELDS",
+    "MDS_FIELDS",
+    "TENANT_OST_FIELDS",
+]
 
 #: per-device counter fields, one ``(n_buckets, n_osts)`` array each
 OST_FIELDS = (
@@ -62,6 +69,26 @@ MDS_FIELDS = (
     "mds_ops",         # namespace operations issued
     "mds_queue",       # max request-queue depth observed
 )
+
+#: the subset of :data:`OST_FIELDS` additionally attributed per tenant when
+#: two or more tenants share the machine (bytes/RPCs sum across tenants to
+#: the untagged totals; queue_depth is a per-tenant max, not a partition)
+TENANT_OST_FIELDS = ("bytes_in", "bytes_out", "rpcs", "queue_depth")
+
+
+@dataclass(frozen=True)
+class JobWindow:
+    """One admitted job's residency on the facility: the server-side
+    ledger entry the interference oracle checks attributions against."""
+
+    tenant: int
+    name: str
+    workload: str
+    t_start: float
+    t_end: float
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        return self.t_start < t1 and t0 < self.t_end
 
 
 class TelemetryCollector:
@@ -105,6 +132,42 @@ class TelemetryCollector:
         self._bytes_out = self._ost["bytes_out"]
         self._rpc_cells = self._ost["rpcs"]
         self._qdepth = self._ost["queue_depth"]
+        # -- multi-tenant attribution (off until >= 2 tenants register) ----
+        #: tenant id -> display name
+        self._tenants: Dict[int, str] = {}
+        #: per-tenant tracking flag: a single-tenant run must stay
+        #: byte-identical (and digest-identical) to the solo harness, so
+        #: the tenant branches only light up on a genuinely shared machine
+        self._track = False
+        #: per field in TENANT_OST_FIELDS: (bucket, ost, tenant) -> value
+        self._tost: Dict[str, Dict[Tuple[int, int, int], float]] = {
+            name: {} for name in TENANT_OST_FIELDS
+        }
+        #: (bucket, tenant) -> namespace ops issued by that tenant
+        self._tmds_ops: Dict[Tuple[int, int], float] = {}
+        #: live concurrent-op count per (ost, tenant)
+        self._tdepth: Dict[Tuple[int, int], int] = {}
+        #: admitted-job residency ledger
+        self._jobs: list = []
+
+    # -- tenancy ------------------------------------------------------------
+    def register_tenant(self, tenant: int, name: str) -> None:
+        """Declare a tenant sharing this machine.  Attribution turns on
+        once a second tenant registers: alone on the machine there is
+        nobody to attribute interference to, and keeping the hooks on
+        their untagged fast path preserves solo-run byte-identity."""
+        self._tenants[int(tenant)] = str(name)
+        self._track = len(self._tenants) >= 2
+
+    def record_job(
+        self, tenant: int, name: str, workload: str,
+        t_start: float, t_end: float,
+    ) -> None:
+        """Ledger entry: ``tenant`` ran ``workload`` over [t_start, t_end]."""
+        self._jobs.append(
+            JobWindow(int(tenant), str(name), str(workload),
+                      float(t_start), float(t_end))
+        )
 
     # -- bucketing ----------------------------------------------------------
     def _bucket(self) -> int:
@@ -126,38 +189,73 @@ class TelemetryCollector:
     # -- OST hooks ----------------------------------------------------------
     # the three per-op hooks inline _add: they fire for every simulated
     # transfer, and the saved call is measurable in bench_telemetry
-    def record_write(self, ost: int, nbytes: float) -> None:
+    def record_write(self, ost: int, nbytes: float, tenant: int = 0) -> None:
         d = self._bytes_in
-        key = (self._bucket(), ost)
+        b = self._bucket()
+        key = (b, ost)
         d[key] = d.get(key, 0.0) + nbytes
+        if self._track:
+            t = self._tost["bytes_in"]
+            tkey = (b, ost, tenant)
+            t[tkey] = t.get(tkey, 0.0) + nbytes
 
-    def record_read(self, ost: int, nbytes: float) -> None:
+    def record_read(self, ost: int, nbytes: float, tenant: int = 0) -> None:
         d = self._bytes_out
-        key = (self._bucket(), ost)
+        b = self._bucket()
+        key = (b, ost)
         d[key] = d.get(key, 0.0) + nbytes
+        if self._track:
+            t = self._tost["bytes_out"]
+            tkey = (b, ost, tenant)
+            t[tkey] = t.get(tkey, 0.0) + nbytes
 
-    def record_rpcs(self, ost: int, n: int) -> None:
+    def record_rpcs(self, ost: int, n: int, tenant: int = 0) -> None:
         d = self._rpc_cells
-        key = (self._bucket(), ost)
+        b = self._bucket()
+        key = (b, ost)
         d[key] = d.get(key, 0.0) + n
+        if self._track:
+            t = self._tost["rpcs"]
+            tkey = (b, ost, tenant)
+            t[tkey] = t.get(tkey, 0.0) + n
 
-    def record_in(self, ost: int, nbytes: float, nrpcs: int) -> None:
+    def record_in(
+        self, ost: int, nbytes: float, nrpcs: int, tenant: int = 0
+    ) -> None:
         """Fused write-side accounting: bytes + RPCs in one bucket hop."""
-        key = (self._bucket(), ost)
+        b = self._bucket()
+        key = (b, ost)
         d = self._bytes_in
         d[key] = d.get(key, 0.0) + nbytes
         if nrpcs:
             r = self._rpc_cells
             r[key] = r.get(key, 0.0) + nrpcs
+        if self._track:
+            tkey = (b, ost, tenant)
+            t = self._tost["bytes_in"]
+            t[tkey] = t.get(tkey, 0.0) + nbytes
+            if nrpcs:
+                tr = self._tost["rpcs"]
+                tr[tkey] = tr.get(tkey, 0.0) + nrpcs
 
-    def record_out(self, ost: int, nbytes: float, nrpcs: int) -> None:
+    def record_out(
+        self, ost: int, nbytes: float, nrpcs: int, tenant: int = 0
+    ) -> None:
         """Fused read-side accounting: bytes + RPCs in one bucket hop."""
-        key = (self._bucket(), ost)
+        b = self._bucket()
+        key = (b, ost)
         d = self._bytes_out
         d[key] = d.get(key, 0.0) + nbytes
         if nrpcs:
             r = self._rpc_cells
             r[key] = r.get(key, 0.0) + nrpcs
+        if self._track:
+            tkey = (b, ost, tenant)
+            t = self._tost["bytes_out"]
+            t[tkey] = t.get(tkey, 0.0) + nbytes
+            if nrpcs:
+                tr = self._tost["rpcs"]
+                tr[tkey] = tr.get(tkey, 0.0) + nrpcs
 
     def record_degraded(self, extents: Dict[int, int]) -> None:
         """Bytes a degraded read pulled off surviving mirror devices."""
@@ -181,31 +279,47 @@ class TelemetryCollector:
         for ost in devices:
             self._add("retries", ost, n)
 
-    def op_begin(self, devices: Iterable[int]) -> None:
+    def op_begin(self, devices: Iterable[int], tenant: int = 0) -> None:
         """A client op started against ``devices``; sample queue depth."""
         b = self._bucket()
         depth = self._depth
         q = self._qdepth
+        track = self._track
         for ost in devices:
             d = depth[ost] + 1
             depth[ost] = d
             key = (b, ost)
             if d > q.get(key, 0.0):
                 q[key] = float(d)
+            if track:
+                dkey = (ost, tenant)
+                td = self._tdepth.get(dkey, 0) + 1
+                self._tdepth[dkey] = td
+                tq = self._tost["queue_depth"]
+                tkey = (b, ost, tenant)
+                if td > tq.get(tkey, 0.0):
+                    tq[tkey] = float(td)
 
-    def op_end(self, devices: Iterable[int]) -> None:
+    def op_end(self, devices: Iterable[int], tenant: int = 0) -> None:
         depth = self._depth
+        track = self._track
         for ost in devices:
             depth[ost] -= 1
+            if track:
+                dkey = (ost, tenant)
+                self._tdepth[dkey] = self._tdepth.get(dkey, 0) - 1
 
     # -- MDS hooks ----------------------------------------------------------
-    def record_mds(self, queue_depth: int) -> None:
+    def record_mds(self, queue_depth: int, tenant: int = 0) -> None:
         b = self._bucket()
         ops = self._mds["mds_ops"]
         ops[b] = ops.get(b, 0.0) + 1.0
         queue = self._mds["mds_queue"]
         if queue_depth > queue.get(b, 0.0):
             queue[b] = float(queue_depth)
+        if self._track:
+            tkey = (b, tenant)
+            self._tmds_ops[tkey] = self._tmds_ops.get(tkey, 0.0) + 1.0
 
     # -- export -------------------------------------------------------------
     def timeline(self) -> "TelemetryTimeline":
@@ -224,6 +338,22 @@ class TelemetryCollector:
             for b, v in cells.items():
                 arr[b] = v
             mds[name] = arr
+        tenant_ost: Dict[int, Dict[str, np.ndarray]] = {}
+        tenant_mds: Dict[int, np.ndarray] = {}
+        if self._tenants:
+            for tid in self._tenants:
+                tenant_ost[tid] = {
+                    name: np.zeros((n, self.n_osts))
+                    for name in TENANT_OST_FIELDS
+                }
+                tenant_mds[tid] = np.zeros(n)
+            for name, cells in self._tost.items():
+                for (b, o, tid), v in cells.items():
+                    if tid in tenant_ost:
+                        tenant_ost[tid][name][b, o] = v
+            for (b, tid), v in self._tmds_ops.items():
+                if tid in tenant_mds:
+                    tenant_mds[tid][b] = v
         return TelemetryTimeline(
             dt=self.dt,
             n_osts=self.n_osts,
@@ -235,6 +365,10 @@ class TelemetryCollector:
             ost_slowdown=dict(cfg.ost_slowdown),
             ost_write_rate=cfg.fs_bw / cfg.n_osts,
             ost_read_rate=cfg.fs_read_bw / cfg.n_osts,
+            tenants=dict(self._tenants),
+            tenant_ost=tenant_ost,
+            tenant_mds=tenant_mds,
+            job_windows=tuple(self._jobs),
         )
 
 
@@ -257,6 +391,15 @@ class TelemetryTimeline:
     ost_slowdown: Dict[int, float] = field(default_factory=dict)
     ost_write_rate: float = 0.0
     ost_read_rate: float = 0.0
+    #: tenant id -> name; empty on single-tenant runs (solo exports are
+    #: unchanged byte-for-byte, which the golden digests pin)
+    tenants: Dict[int, str] = field(default_factory=dict)
+    #: tenant id -> {field: (n_buckets, n_osts)} for TENANT_OST_FIELDS
+    tenant_ost: Dict[int, Dict[str, np.ndarray]] = field(default_factory=dict)
+    #: tenant id -> (n_buckets,) namespace-op counts
+    tenant_mds: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: admitted-job residency ledger (server-side scheduling truth)
+    job_windows: Tuple[JobWindow, ...] = ()
 
     # -- shape --------------------------------------------------------------
     @property
@@ -301,6 +444,47 @@ class TelemetryTimeline:
             )
             for name, arr in self.ost.items()
         }
+
+    # -- tenant queries -----------------------------------------------------
+    def tenant_window_totals(
+        self, tenant: int, t0: float, t1: float,
+        device: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """Per-field sums attributed to ``tenant`` over ``[t0, t1)``
+        (queue_depth: max), for one device or the whole pool."""
+        fields = self.tenant_ost.get(tenant)
+        if fields is None:
+            return {name: 0.0 for name in TENANT_OST_FIELDS}
+        sl = self._bucket_slice(t0, t1)
+        out = {}
+        for name, arr in fields.items():
+            sub = arr[sl] if device is None else arr[sl, device]
+            out[name] = (
+                float(sub.max(initial=0.0))
+                if name == "queue_depth"
+                else float(sub.sum())
+            )
+        return out
+
+    def tenant_mds_ops(self, tenant: int, t0: float, t1: float) -> float:
+        """Namespace ops issued by ``tenant`` during ``[t0, t1)``."""
+        arr = self.tenant_mds.get(tenant)
+        if arr is None:
+            return 0.0
+        return float(arr[self._bucket_slice(t0, t1)].sum())
+
+    def tenant_device_bytes(
+        self, tenant: int, device: int, t0: float, t1: float
+    ) -> float:
+        """Bytes ``tenant`` moved through ``device`` during ``[t0, t1)``."""
+        totals = self.tenant_window_totals(tenant, t0, t1, device=device)
+        return totals["bytes_in"] + totals["bytes_out"]
+
+    def resident_tenants(self, t0: float, t1: float) -> Tuple[int, ...]:
+        """Tenants with a ledgered job overlapping ``[t0, t1)``, sorted."""
+        return tuple(sorted({
+            w.tenant for w in self.job_windows if w.overlaps(t0, t1)
+        }))
 
     def utilization(self) -> np.ndarray:
         """Approximate per-bucket device utilization: bytes moved per
@@ -363,8 +547,10 @@ class TelemetryTimeline:
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-able export (arrays as nested lists)."""
-        return {
+        """JSON-able export (arrays as nested lists).  Tenant keys appear
+        only on multi-tenant runs, so single-tenant exports -- and the
+        golden digests derived from them -- are unchanged."""
+        out: Dict[str, object] = {
             "dt": self.dt,
             "n_osts": self.n_osts,
             "n_buckets": self.n_buckets,
@@ -384,6 +570,26 @@ class TelemetryTimeline:
             "ost_write_rate": self.ost_write_rate,
             "ost_read_rate": self.ost_read_rate,
         }
+        if self.tenants:
+            out["tenants"] = {str(t): n for t, n in self.tenants.items()}
+            out["tenant_ost"] = {
+                str(t): {name: arr.tolist() for name, arr in fields.items()}
+                for t, fields in self.tenant_ost.items()
+            }
+            out["tenant_mds"] = {
+                str(t): arr.tolist() for t, arr in self.tenant_mds.items()
+            }
+            out["job_windows"] = [
+                {
+                    "tenant": w.tenant,
+                    "name": w.name,
+                    "workload": w.workload,
+                    "t_start": w.t_start,
+                    "t_end": w.t_end,
+                }
+                for w in self.job_windows
+            ]
+        return out
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "TelemetryTimeline":
@@ -414,6 +620,30 @@ class TelemetryTimeline:
             },
             ost_write_rate=float(d.get("ost_write_rate", 0.0)),
             ost_read_rate=float(d.get("ost_read_rate", 0.0)),
+            tenants={
+                int(t): str(n) for t, n in d.get("tenants", {}).items()
+            },
+            tenant_ost={
+                int(t): {
+                    name: np.asarray(vals, dtype=float)
+                    for name, vals in fields.items()
+                }
+                for t, fields in d.get("tenant_ost", {}).items()
+            },
+            tenant_mds={
+                int(t): np.asarray(vals, dtype=float)
+                for t, vals in d.get("tenant_mds", {}).items()
+            },
+            job_windows=tuple(
+                JobWindow(
+                    tenant=int(w["tenant"]),
+                    name=str(w["name"]),
+                    workload=str(w["workload"]),
+                    t_start=float(w["t_start"]),
+                    t_end=float(w["t_end"]),
+                )
+                for w in d.get("job_windows", ())
+            ),
         )
 
     def format_summary(self) -> str:
@@ -445,4 +675,15 @@ class TelemetryTimeline:
             lines.append(f"  fault: static {f:g}x slowdown on OST {d}")
         if self.is_healthy:
             lines.append("  no injected faults (healthy pool)")
+        for t in sorted(self.tenants):
+            fields = self.tenant_ost.get(t, {})
+            t_in = float(fields["bytes_in"].sum()) if fields else 0.0
+            t_out = float(fields["bytes_out"].sum()) if fields else 0.0
+            t_mds = float(self.tenant_mds.get(t, np.zeros(1)).sum())
+            lines.append(
+                f"  tenant {t} ({self.tenants[t]}): "
+                f"{t_in / 2**20:8.1f} MiB in, "
+                f"{t_out / 2**20:8.1f} MiB out, "
+                f"{int(t_mds)} MDS ops"
+            )
         return "\n".join(lines)

@@ -278,6 +278,43 @@ def _scenario_ec_healthy():
     return job.run(_ec_worker, 3, "/scratch/ecgold.dat")
 
 
+def _scenario_interference_mds_storm():
+    """Two-tenant facility: a checkpoint-writing victim with a 16-task
+    metadata storm arriving mid-run -- locks the multi-tenant scheduler's
+    admission order, cross-file arbitration, and the per-tenant telemetry
+    export (tenant counters, MDS attribution, job-residency ledger) into
+    the golden digest."""
+    from repro.iosys.scheduler import Facility, TenantJob
+
+    machine = MachineConfig.shared_testbox()
+    return Facility(
+        machine,
+        [
+            TenantJob("victim", "checkpoint", 4, params={"nfiles": 24}),
+            TenantJob("storm", "mds-storm", 16, arrival=0.3,
+                      params={"nfiles": 6}),
+        ],
+        seed=11,
+    ).run()
+
+
+def _scenario_interference_healthy():
+    """The same victim next to a near-idle co-tenant: the negative
+    control pinning down that a quiet neighbour leaves the victim's
+    stream unstormed and the per-tenant ledger nearly empty."""
+    from repro.iosys.scheduler import Facility, TenantJob
+
+    machine = MachineConfig.shared_testbox()
+    return Facility(
+        machine,
+        [
+            TenantJob("victim", "checkpoint", 4, params={"nfiles": 24}),
+            TenantJob("bystander", "idle", 2, arrival=0.1),
+        ],
+        seed=11,
+    ).run()
+
+
 SCENARIOS = {
     "ior_write": _scenario_ior_write,
     "madbench_read": _scenario_madbench_read,
@@ -287,6 +324,8 @@ SCENARIOS = {
     "ec_healthy": _scenario_ec_healthy,
     "telemetry_stall": _scenario_telemetry_stall,
     "telemetry_healthy": _scenario_telemetry_healthy,
+    "interference_mds_storm": _scenario_interference_mds_storm,
+    "interference_healthy": _scenario_interference_healthy,
 }
 
 

@@ -1,0 +1,172 @@
+"""Differential tests for cross-tenant interference attribution.
+
+A checkpoint-writing victim shares the facility with different
+co-tenants; :func:`find_interference` must accuse the tenant actually
+responsible for the victim's slow intervals, and the server-side ledger
+oracle must CONFIRM the true attribution while CONTRADICTING the same
+finding re-pointed at an innocent bystander (dominance check) or at a
+tenant that never ran (residency check).  A healthy co-tenant run is the
+negative control: any finding there is a false accusation.  The
+scenarios mirror ``fig_interference`` and the interference golden
+traces, so the runs are already pinned byte-for-byte elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ensembles.diagnose import Finding, find_interference
+from repro.ensembles.oracle import (
+    CONFIRMED,
+    CONTRADICTED,
+    UNVERIFIED,
+    verify_interference,
+)
+from repro.iosys.machine import MachineConfig
+from repro.iosys.scheduler import Facility, TenantJob
+
+_VICTIM = TenantJob("victim", "checkpoint", 4, params={"nfiles": 36})
+_STORM = TenantJob("storm", "mds-storm", 16, arrival=0.3,
+                   params={"nfiles": 6})
+_HOG = TenantJob("hog", "bandwidth-hog", 8, arrival=0.3,
+                 params={"nrec": 4, "rec_mib": 2.0})
+_IDLE = TenantJob("bystander", "idle", 2, arrival=0.1)
+
+
+def _run(co_jobs):
+    machine = MachineConfig.shared_testbox()
+    return Facility(machine, [_VICTIM] + list(co_jobs), seed=11).run()
+
+
+@pytest.fixture(scope="module")
+def storm_run():
+    """Victim + 16-task metadata storm arriving mid-run + idle bystander."""
+    return _run([_STORM, _IDLE])
+
+
+@pytest.fixture(scope="module")
+def hog_run():
+    """Victim + 8-task full-stripe bandwidth hog + idle bystander."""
+    return _run([_HOG, _IDLE])
+
+
+@pytest.fixture(scope="module")
+def healthy_run():
+    """Victim + idle bystander only: the negative control."""
+    return _run([_IDLE])
+
+
+def _victim_findings(res):
+    vic = res.job("victim")
+    return find_interference(vic.trace, res.telemetry, vic.tenant)
+
+
+# -- metadata-storm attribution -------------------------------------------------
+
+class TestMdsStorm:
+    def test_storm_accused_and_confirmed(self, storm_run):
+        findings = _victim_findings(storm_run)
+        assert findings, "victim next to an MDS storm should show a finding"
+        want = float(storm_run.job("storm").tenant)
+        assert all(f.evidence["aggressor"] == want for f in findings)
+        assert any(f.evidence["mds"] == 1.0 for f in findings)
+        report = verify_interference(findings, storm_run.telemetry)
+        assert report.all_confirmed, report.format()
+
+    def test_confirmed_detail_cites_ledger(self, storm_run):
+        report = verify_interference(
+            _victim_findings(storm_run), storm_run.telemetry
+        )
+        v = next(v for v in report.verdicts if v.verdict == CONFIRMED)
+        assert "ledger agrees" in v.detail
+        assert "storm" in v.detail
+
+    def test_bystander_repoint_contradicted(self, storm_run):
+        f0 = _victim_findings(storm_run)[0]
+        innocent = float(storm_run.job("bystander").tenant)
+        wrong = replace(
+            f0, evidence={**f0.evidence, "aggressor": innocent}
+        )
+        report = verify_interference([wrong], storm_run.telemetry)
+        assert report.n_contradicted == 1
+        assert "dominated instead" in report.contradictions[0].detail
+
+    def test_ghost_tenant_contradicted(self, storm_run):
+        f0 = _victim_findings(storm_run)[0]
+        ghost = replace(f0, evidence={**f0.evidence, "aggressor": 99.0})
+        report = verify_interference([ghost], storm_run.telemetry)
+        assert report.n_contradicted == 1
+        assert "job ledger" in report.contradictions[0].detail
+
+    def test_shifted_window_contradicted(self, storm_run):
+        f0 = _victim_findings(storm_run)[0]
+        far = storm_run.elapsed + 100.0
+        shifted = replace(
+            f0,
+            evidence={**f0.evidence, "t_start": far, "t_end": far + 10.0},
+        )
+        report = verify_interference([shifted], storm_run.telemetry)
+        assert report.n_contradicted == 1
+        assert "not resident" in report.contradictions[0].detail
+
+
+# -- bandwidth-hog attribution --------------------------------------------------
+
+class TestBandwidthHog:
+    def test_hog_accused_on_device_and_confirmed(self, hog_run):
+        findings = _victim_findings(hog_run)
+        assert findings, "victim next to a bandwidth hog should show a finding"
+        want = float(hog_run.job("hog").tenant)
+        assert all(f.evidence["aggressor"] == want for f in findings)
+        bw = [f for f in findings if f.evidence["mds"] == 0.0]
+        assert bw and all(f.evidence["device"] >= 0 for f in bw)
+        report = verify_interference(findings, hog_run.telemetry)
+        assert report.all_confirmed, report.format()
+
+    def test_bystander_repoint_contradicted(self, hog_run):
+        f0 = _victim_findings(hog_run)[0]
+        innocent = float(hog_run.job("bystander").tenant)
+        wrong = replace(
+            f0, evidence={**f0.evidence, "aggressor": innocent}
+        )
+        report = verify_interference([wrong], hog_run.telemetry)
+        assert report.n_contradicted == 1
+
+
+# -- negative control -----------------------------------------------------------
+
+class TestHealthy:
+    def test_no_findings_next_to_idle_tenant(self, healthy_run):
+        assert _victim_findings(healthy_run) == []
+
+    def test_unknown_victim_tenant_yields_nothing(self, healthy_run):
+        vic = healthy_run.job("victim")
+        assert find_interference(vic.trace, healthy_run.telemetry, 99) == []
+
+
+# -- report mechanics -----------------------------------------------------------
+
+class TestReport:
+    def test_non_interference_finding_unverified(self, storm_run):
+        shape = Finding(
+            code="broad-right-shoulder",
+            severity=0.5,
+            message="shape",
+            recommendation="",
+            evidence={},
+        )
+        report = verify_interference([shape], storm_run.telemetry)
+        assert report.verdicts[0].verdict == UNVERIFIED
+
+    def test_mixed_report_sorts_contradictions_first(self, storm_run):
+        findings = _victim_findings(storm_run)
+        f0 = findings[0]
+        ghost = replace(f0, evidence={**f0.evidence, "aggressor": 99.0})
+        report = verify_interference(
+            findings + [ghost], storm_run.telemetry
+        )
+        assert report.verdicts[0].verdict == CONTRADICTED
+        assert not report.all_confirmed
+        assert report.n_confirmed >= 1
