@@ -1,0 +1,42 @@
+"""Static analysis for simulation determinism (``reprolint``).
+
+The simulator's verification backbone -- golden digests, oracle
+verdicts, solo-vs-facility byte-identity pins -- only means something if
+the simulation substrate is bit-deterministic.  This package enforces
+that property *before* a refactor breaks it:
+
+- :mod:`repro.analysis.rules` -- the rule book (D001-D005) with
+  rationale for each invariant and the reasoned-suppression policy;
+- :mod:`repro.analysis.lint` -- the AST pass and its CLI
+  (``python -m repro.analysis.lint src/``).
+
+The runtime half of the guardrail -- the sim-race sanitizer -- lives in
+:mod:`repro.sim.engine` (``Engine(sanitize=True)``), because it has to
+watch the event heap from inside.
+"""
+
+from typing import Any
+
+from .rules import RULES, Rule, Violation
+
+__all__ = [
+    "LintConfig",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+    "Rule",
+    "Violation",
+]
+
+_LINT_EXPORTS = ("LintConfig", "lint_paths", "lint_source")
+
+
+def __getattr__(name: str) -> Any:
+    # lazy: importing the package must not pre-import the lint module,
+    # or `python -m repro.analysis.lint` trips runpy's found-in-
+    # sys.modules warning on its own documented invocation
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(name)

@@ -1,0 +1,745 @@
+"""``reprolint``: the AST pass that enforces the determinism rule book.
+
+Usage::
+
+    python -m repro.analysis.lint src/            # lint a tree
+    python -m repro.analysis.lint src/repro/x.py  # or single files
+
+Exit status is 0 when every rule holds (suppressions with reasons are
+fine) and 1 otherwise.  See :mod:`repro.analysis.rules` for what each
+rule means and why it exists.
+
+Design notes
+------------
+
+The pass runs in two phases.  Phase one walks *every* file collecting
+the names of ``@dataclass(frozen=True)`` classes, because D005 needs to
+recognise frozen types defined in one module and mutated in another.
+Phase two revisits each file with a single AST visitor that carries a
+small amount of local inference:
+
+- import aliases (``import numpy as np`` -> ``np`` means ``numpy``),
+- per-function taint of names bound to unordered expressions
+  (``devs = set(...)`` followed by ``for d in devs`` is a D003 hit even
+  though the iteration site itself looks innocent),
+- parameter/variable annotations naming frozen dataclasses (D005).
+
+The linter never executes the code under analysis, and its own output
+is deterministic: files are visited in sorted order and violations are
+reported in (path, line, col) order.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import RULES, Violation
+
+__all__ = [
+    "LintConfig",
+    "lint_source",
+    "lint_paths",
+    "collect_frozen_types",
+    "main",
+]
+
+# -- configuration -------------------------------------------------------------
+
+#: wall-clock callables per module (D001)
+_TIME_CLOCKS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time",
+    "process_time_ns", "localtime", "gmtime", "ctime", "asctime",
+}
+_DATETIME_CLOCKS = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: numpy.random module-level callables that mutate hidden global state or
+#: seed from OS entropy (D002); ``default_rng``/``Generator``/
+#: ``SeedSequence`` are fine *when given an explicit seed*
+_NP_GLOBAL_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+    "normal", "lognormal", "poisson", "exponential", "binomial",
+    "standard_normal", "get_state", "set_state", "bytes",
+}
+
+#: callables returning unordered iterables (D003)
+_UNORDERED_CALLS = {"set", "frozenset"}
+_UNORDERED_ATTR_CALLS = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+_UNORDERED_OS_CALLS = {
+    ("os", "listdir"), ("os", "scandir"), ("os", "walk"),
+    ("glob", "glob"), ("glob", "iglob"),
+}
+_UNORDERED_PATH_METHODS = {"iterdir", "glob", "rglob"}
+
+#: consumers for which the order of an unordered argument becomes
+#: observable (D003); min/max/sum/len/any/all/membership are order-free
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+#: identifiers treated as simulated-time values (D004).  Deliberately
+#: precise rather than exhaustive: a bare `t` is as often a tenant id or
+#: a loop index as a time, so only unambiguous spellings are listed --
+#: plus the `*_t` / `*_time` suffix convention.
+_TIME_NAMES = {
+    "now", "t0", "t1", "dt", "at", "elapsed", "duration",
+    "deadline", "timeout", "t_start", "t_end", "sim_time", "start_time",
+    "end_time", "finish_time", "arrival", "stall_end",
+}
+_TIME_SUFFIXES = ("_t", "_time")
+
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=\s*"
+    r"(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
+
+@dataclass
+class LintConfig:
+    """Path allowlists and knobs for one lint run.
+
+    Globs are matched against POSIX-style paths with :meth:`Path.match`,
+    so ``"**/bench_*.py"`` allows every benchmark harness wherever the
+    tree is rooted.
+    """
+
+    #: paths where wall-clock reads are legitimate (D001): benchmark
+    #: harnesses time the *simulator*, not the simulation
+    wallclock_allow: Tuple[str, ...] = ("**/benchmarks/**", "**/bench_*.py")
+    #: paths allowed to own ambient RNG machinery (D002): the one module
+    #: whose whole job is turning seeds into streams
+    rng_home: Tuple[str, ...] = ("**/repro/sim/rng.py",)
+
+    def allows(self, rule: str, path: str) -> bool:
+        globs: Tuple[str, ...] = ()
+        if rule == "D001":
+            globs = self.wallclock_allow
+        elif rule == "D002":
+            globs = self.rng_home
+        p = Path(path)
+        return any(p.match(g) for g in globs)
+
+
+# -- suppression parsing -------------------------------------------------------
+
+@dataclass
+class _Suppressions:
+    """Per-file map of line -> suppressed rule codes, plus the E001
+    violations for bare (reason-less) disables."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    errors: List[Violation] = field(default_factory=list)
+
+    def active(self, line: int) -> Set[str]:
+        return self.by_line.get(line, set())
+
+
+def _parse_suppressions(source: str, path: str) -> _Suppressions:
+    sup = _Suppressions()
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        m = _DISABLE_RE.search(text)
+        if m is None:
+            continue
+        codes = {c.strip() for c in m.group("codes").split(",")}
+        reason = (m.group("reason") or "").strip()
+        if not reason:
+            sup.errors.append(Violation(
+                rule="E001",
+                path=path,
+                line=lineno,
+                col=text.index("#"),
+                message=(
+                    "suppression of "
+                    f"{', '.join(sorted(codes))} carries no reason -- "
+                    "write `# reprolint: disable=Dxxx (why this is safe)`"
+                ),
+                snippet=text.strip(),
+            ))
+            continue
+        # a comment-only line suppresses the *next* code line; an inline
+        # comment suppresses its own line
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        sup.by_line.setdefault(target, set()).update(codes)
+        sup.by_line.setdefault(lineno, set()).update(codes)
+    return sup
+
+
+# -- phase one: frozen-type discovery ------------------------------------------
+
+def _is_frozen_dataclass_decorator(dec: ast.expr) -> bool:
+    """True for ``@dataclass(frozen=True)`` (any import alias spelled
+    ``dataclass``/``dataclasses.dataclass``)."""
+    if not isinstance(dec, ast.Call):
+        return False
+    fn = dec.func
+    name = fn.id if isinstance(fn, ast.Name) else (
+        fn.attr if isinstance(fn, ast.Attribute) else ""
+    )
+    if name != "dataclass":
+        return False
+    for kw in dec.keywords:
+        if kw.arg == "frozen":
+            v = kw.value
+            return isinstance(v, ast.Constant) and v.value is True
+    return False
+
+
+def collect_frozen_types(trees: Iterable[ast.Module]) -> Set[str]:
+    """Names of every ``@dataclass(frozen=True)`` class in ``trees``."""
+    frozen: Set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                _is_frozen_dataclass_decorator(d) for d in node.decorator_list
+            ):
+                frozen.add(node.name)
+    return frozen
+
+
+# -- phase two: the visitor ----------------------------------------------------
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        source_lines: Sequence[str],
+        config: LintConfig,
+        frozen_types: Set[str],
+    ) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.config = config
+        self.frozen_types = frozen_types
+        self.violations: List[Violation] = []
+        #: local alias -> canonical module ("np" -> "numpy")
+        self.module_aliases: Dict[str, str] = {}
+        #: names bound by `from time import perf_counter [as x]` etc.
+        self.clock_names: Set[str] = set()
+        #: names bound by `from datetime import datetime [as x]`
+        self.datetime_names: Set[str] = set()
+        #: per-scope: names currently bound to unordered expressions
+        self._taint_stack: List[Set[str]] = [set()]
+        #: per-scope: name -> annotated frozen type
+        self._frozen_vars_stack: List[Dict[str, str]] = [{}]
+        #: enclosing class names (for the D005 frozen-init exemption)
+        self._class_stack: List[Tuple[str, bool]] = []
+
+    # -- plumbing ----------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.config.allows(rule, self.path):
+            return
+        line = getattr(node, "lineno", 1)
+        snippet = (
+            self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        )
+        self.violations.append(Violation(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=snippet,
+        ))
+
+    @property
+    def _taint(self) -> Set[str]:
+        return self._taint_stack[-1]
+
+    @property
+    def _frozen_vars(self) -> Dict[str, str]:
+        return self._frozen_vars_stack[-1]
+
+    # -- scope handling ----------------------------------------------------
+    def _visit_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        self._taint_stack.append(set())
+        frozen_vars: Dict[str, str] = {}
+        args = node.args
+        for a in (
+            list(args.posonlyargs) + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            t = self._annotation_type(a.annotation)
+            if t is not None:
+                frozen_vars[a.arg] = t
+        self._frozen_vars_stack.append(frozen_vars)
+        self.generic_visit(node)
+        self._frozen_vars_stack.pop()
+        self._taint_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        frozen = any(
+            _is_frozen_dataclass_decorator(d) for d in node.decorator_list
+        ) or node.name in self.frozen_types
+        self._class_stack.append((node.name, frozen))
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _annotation_type(self, ann: Optional[ast.expr]) -> Optional[str]:
+        """The frozen-type name an annotation refers to, if any.
+        Handles ``X``, ``mod.X``, ``Optional[X]``, and ``"X"`` strings."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name = ann.value.strip().strip('"').split("[")[-1].rstrip("]")
+            name = name.split(".")[-1]
+            return name if name in self.frozen_types else None
+        if isinstance(ann, ast.Name):
+            return ann.id if ann.id in self.frozen_types else None
+        if isinstance(ann, ast.Attribute):
+            return ann.attr if ann.attr in self.frozen_types else None
+        if isinstance(ann, ast.Subscript):
+            # Optional[X] / Final[X]: look at the inner annotation
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple):
+                for elt in inner.elts:
+                    t = self._annotation_type(elt)
+                    if t is not None:
+                        return t
+                return None
+            return self._annotation_type(inner)
+        return None
+
+    # -- imports (D001 / D002 bookkeeping + flags) --------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            self.module_aliases[alias.asname or root] = root
+            if root in ("random", "uuid"):
+                self._report(
+                    "D002", node,
+                    f"stdlib `{root}` is ambient randomness; draw from "
+                    f"repro.sim.rng.RngStreams instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = (node.module or "").split(".")[0]
+        if mod in ("random", "uuid"):
+            self._report(
+                "D002", node,
+                f"stdlib `{mod}` is ambient randomness; draw from "
+                f"repro.sim.rng.RngStreams instead",
+            )
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if mod == "time" and alias.name in _TIME_CLOCKS:
+                self.clock_names.add(bound)
+                self._report(
+                    "D001", node,
+                    f"`from time import {alias.name}` binds a wall clock; "
+                    f"simulated time comes from Engine.now",
+                )
+            if mod == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_names.add(bound)
+        self.generic_visit(node)
+
+    # -- calls (D001, D002, D003 consumers) ---------------------------------
+    def _call_module_attr(self, node: ast.Call) -> Tuple[str, str]:
+        """("module", "attr") for ``mod.attr(...)`` calls, else ("", "")."""
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            mod = self.module_aliases.get(fn.value.id, fn.value.id)
+            return mod, fn.attr
+        return "", ""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        mod, attr = self._call_module_attr(node)
+        fn = node.func
+
+        # D001: time.<clock>() / datetime.now() / bare perf_counter()
+        if mod == "time" and attr in _TIME_CLOCKS:
+            self._report(
+                "D001", node,
+                f"wall-clock read `time.{attr}()`; simulated time comes "
+                f"from Engine.now",
+            )
+        elif isinstance(fn, ast.Name) and fn.id in self.clock_names:
+            self._report(
+                "D001", node,
+                f"wall-clock read `{fn.id}()`; simulated time comes from "
+                f"Engine.now",
+            )
+        elif isinstance(fn, ast.Attribute) and fn.attr in _DATETIME_CLOCKS:
+            base = fn.value
+            is_datetime = (
+                isinstance(base, ast.Name)
+                and (
+                    base.id in self.datetime_names
+                    or self.module_aliases.get(base.id) == "datetime"
+                )
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+            )
+            if is_datetime:
+                self._report(
+                    "D001", node,
+                    f"wall-clock read `datetime.{fn.attr}()`; simulated "
+                    f"time comes from Engine.now",
+                )
+
+        # D002: numpy global-state RNG and unseeded default_rng
+        if isinstance(fn, ast.Attribute) and fn.attr in _NP_GLOBAL_RANDOM:
+            base = fn.value
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and self.module_aliases.get(base.value.id, base.value.id)
+                == "numpy"
+            ):
+                self._report(
+                    "D002", node,
+                    f"`np.random.{fn.attr}` uses numpy's hidden global "
+                    f"state; use a seeded Generator from "
+                    f"repro.sim.rng.RngStreams",
+                )
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            self._report(
+                "D002", node,
+                "`default_rng()` with no seed draws entropy from the OS; "
+                "pass an explicit seed",
+            )
+
+        # D003: unordered expression fed to an order-sensitive consumer
+        if isinstance(fn, ast.Name) and fn.id in _ORDER_SENSITIVE_CONSUMERS:
+            for arg in node.args[:1]:
+                why = self._unordered_reason(arg)
+                if why is not None:
+                    self._report(
+                        "D003", node,
+                        f"`{fn.id}(...)` materialises {why} in hash/fs "
+                        f"order; wrap the source in sorted()",
+                    )
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "join"
+            and node.args
+        ):
+            why = self._unordered_reason(node.args[0])
+            if why is not None:
+                self._report(
+                    "D003", node,
+                    f"`.join(...)` concatenates {why} in hash order; wrap "
+                    f"the source in sorted()",
+                )
+
+        # D005: object.__setattr__ outside the defining frozen class
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "__setattr__"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "object"
+        ):
+            in_frozen_class = any(frozen for _, frozen in self._class_stack)
+            if not in_frozen_class:
+                self._report(
+                    "D005", node,
+                    "`object.__setattr__` outside a frozen dataclass's own "
+                    "methods defeats immutability of exported evidence",
+                )
+
+        self.generic_visit(node)
+
+    # -- unordered-source analysis (D003) -----------------------------------
+    def _unordered_reason(self, expr: ast.expr) -> Optional[str]:
+        """Why ``expr`` yields elements in nondeterministic order, or
+        None when it is order-safe."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(expr, ast.Name) and expr.id in self._taint:
+            return f"`{expr.id}` (bound to a set above)"
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            if isinstance(fn, ast.Name) and fn.id in _UNORDERED_CALLS:
+                return f"a {fn.id}()"
+            if isinstance(fn, ast.Attribute):
+                if fn.attr in _UNORDERED_ATTR_CALLS:
+                    # set-algebra result -- only if the receiver looks
+                    # set-like (a tainted name or a set display/call)
+                    if self._unordered_reason(fn.value) is not None:
+                        return f"a set .{fn.attr}() result"
+                if fn.attr in _UNORDERED_PATH_METHODS:
+                    return f"`.{fn.attr}()` directory entries"
+                mod, attr = self._call_module_attr(expr)
+                if (mod, attr) in _UNORDERED_OS_CALLS:
+                    return f"`{mod}.{attr}()` directory entries"
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra via operators: s | t, s & t, s - t, s ^ t
+            left = self._unordered_reason(expr.left)
+            right = self._unordered_reason(expr.right)
+            if left is not None or right is not None:
+                return "a set-algebra result"
+        return None
+
+    def _iterates_unordered(self, node: ast.For) -> None:
+        why = self._unordered_reason(node.iter)
+        if why is not None:
+            self._report(
+                "D003", node.iter,
+                f"iteration over {why}: order is not deterministic; wrap "
+                f"in sorted() or keep an ordered list alongside the set",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._iterates_unordered(node)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(
+        self, generators: Sequence[ast.comprehension]
+    ) -> None:
+        for gen in generators:
+            why = self._unordered_reason(gen.iter)
+            if why is not None:
+                self._report(
+                    "D003", gen.iter,
+                    f"comprehension over {why}: order is not "
+                    f"deterministic; wrap in sorted()",
+                )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # a dict built over an unordered source inherits hash order as
+        # its (observable) insertion order
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    # set comprehensions consume order-insensitively (the result is
+    # itself unordered); their generators still recurse via generic_visit
+
+    # -- assignments: taint + frozen-annotation tracking + D005 -------------
+    def _track_assign_target(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if self._unordered_reason(value) is not None:
+                self._taint.add(target.id)
+            else:
+                self._taint.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._track_assign_target(target, node.value)
+            self._check_frozen_mutation(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            t = self._annotation_type(node.annotation)
+            if t is not None:
+                self._frozen_vars[node.target.id] = t
+            if node.value is not None:
+                self._track_assign_target(node.target, node.value)
+        self._check_frozen_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_frozen_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_frozen_mutation(target)
+        self.generic_visit(node)
+
+    def _frozen_base(self, expr: ast.expr) -> Optional[str]:
+        """The frozen type behind ``expr`` when it is a plain name (or
+        attribute chain rooted at one) annotated as frozen."""
+        if isinstance(expr, ast.Name):
+            return self._frozen_vars.get(expr.id)
+        return None
+
+    def _check_frozen_mutation(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute):
+            t = self._frozen_base(target.value)
+            if t is not None:
+                self._report(
+                    "D005", target,
+                    f"assignment to `.{target.attr}` of a frozen `{t}`; "
+                    f"build a new instance instead of mutating evidence",
+                )
+        elif isinstance(target, ast.Subscript):
+            inner = target.value
+            if isinstance(inner, ast.Attribute):
+                t = self._frozen_base(inner.value)
+                if t is not None:
+                    self._report(
+                        "D005", target,
+                        f"item assignment through `.{inner.attr}` of a "
+                        f"frozen `{t}`; exports are immutable evidence",
+                    )
+
+    # -- comparisons (D004) --------------------------------------------------
+    def _is_time_expr(self, expr: ast.expr) -> bool:
+        name = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        if name is None:
+            return False
+        stripped = name.lstrip("_")
+        return (
+            stripped in _TIME_NAMES
+            or name in _TIME_NAMES
+            or any(stripped.endswith(s) for s in _TIME_SUFFIXES)
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # `x is None` style guards arrive as Eq against None rarely;
+            # equality against None/str/bool constants is not a float test
+            for a, b in ((left, right), (right, left)):
+                if isinstance(b, ast.Constant) and not isinstance(
+                    b.value, (int, float)
+                ):
+                    break
+            else:
+                if self._is_time_expr(left) or self._is_time_expr(right):
+                    self._report(
+                        "D004", node,
+                        "float equality on a simulated time; compare with "
+                        "a tolerance or suppress with the reason exact "
+                        "identity is intended",
+                    )
+        self.generic_visit(node)
+
+
+# -- drivers -------------------------------------------------------------------
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    frozen_types: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns unsuppressed violations plus any
+    E001 suppression errors, sorted by location."""
+    config = config or LintConfig()
+    tree = ast.parse(source, filename=path)
+    frozen = set(frozen_types or ())
+    frozen |= collect_frozen_types([tree])
+    sup = _parse_suppressions(source, path)
+    linter = _Linter(path, source.splitlines(), config, frozen)
+    linter.visit(tree)
+    kept = [
+        v for v in linter.violations if v.rule not in sup.active(v.line)
+    ]
+    kept.extend(sup.errors)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept
+
+
+def _python_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` (two-phase: frozen-type
+    discovery across the whole set, then per-file rules)."""
+    config = config or LintConfig()
+    files = _python_files(paths)
+    trees: List[Tuple[Path, ast.Module, str]] = []
+    for f in files:
+        text = f.read_text(encoding="utf-8")
+        trees.append((f, ast.parse(text, filename=str(f)), text))
+    frozen = collect_frozen_types(t for _, t, _ in trees)
+    out: List[Violation] = []
+    for f, _tree, text in trees:
+        out.extend(
+            lint_source(text, path=str(f), config=config, frozen_types=frozen)
+        )
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="reprolint: determinism lint for the simulator",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="violation output format",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule book and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for r in RULES.values():
+            print(f"{r.code} {r.name}: {r.summary}")
+            print(f"     {r.rationale}")
+        return 0
+
+    violations = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(
+            [v.__dict__ for v in violations], indent=2, sort_keys=True
+        ))
+    else:
+        for v in violations:
+            print(v.format())
+            if v.snippet:
+                print(f"    {v.snippet}")
+    n_files = len(_python_files(args.paths))
+    if violations:
+        print(
+            f"reprolint: {len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''} in {n_files} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"reprolint: {n_files} files clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

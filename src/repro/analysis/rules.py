@@ -1,0 +1,156 @@
+"""The determinism rule book: what ``reprolint`` enforces and why.
+
+Every claim this reproduction makes -- golden trace digests, oracle
+CONFIRMED/CONTRADICTED verdicts, byte-identical solo-vs-facility pins --
+rests on the simulator being *bit-deterministic*.  Nothing in Python
+enforces that property; it is a discipline, and disciplines erode one
+innocent refactor at a time.  ``reprolint`` turns the discipline into
+named, machine-checked rules:
+
+========  ==============================================================
+ code      invariant
+========  ==============================================================
+ D001      no wall-clock reads (``time.time``, ``perf_counter``,
+           ``datetime.now``) inside the simulation package -- simulated
+           time comes from ``Engine.now``, wall time belongs only to
+           benchmark harnesses
+ D002      no stdlib ``random``/``uuid`` and no unseeded or global-state
+           numpy RNG outside :mod:`repro.sim.rng` -- every draw must
+           come from a named, seeded stream
+ D003      no iteration over ``set``/``frozenset`` values or other
+           unordered sources (``os.listdir``, ``glob``) whose order can
+           feed event scheduling, RNG draws, or trace emission -- the
+           classic digest-breaker under hash randomisation
+ D004      no float ``==``/``!=`` on simulated times -- accumulated
+           float error makes exact comparison a coin flip; compare with
+           tolerances or restructure
+ D005      no mutation of frozen telemetry/result dataclasses
+           (``object.__setattr__`` outside the defining class, attribute
+           assignment through a frozen-annotated name) -- exports are
+           immutable evidence
+========  ==============================================================
+
+Each rule has an escape hatch::
+
+    risky_thing()  # reprolint: disable=D004 (exact same-instant cache hit)
+
+The parenthesised reason is *mandatory*: a suppression without one is
+itself an error (E001).  The reason is the audit trail -- six months
+later it is the only record of why the hazard was judged safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "Violation", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named, documented invariant the linter enforces."""
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule breach at a concrete source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: the offending source line, stripped (debuggability of CI output)
+    snippet: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+_RULE_DEFS: Tuple[Rule, ...] = (
+    Rule(
+        code="D001",
+        name="no-wall-clock",
+        summary="wall-clock read inside the simulation package",
+        rationale=(
+            "Simulated time is Engine.now; a wall-clock read couples "
+            "results to host speed and breaks run-to-run byte identity. "
+            "Wall time is legitimate only in benchmark harnesses, which "
+            "are allowlisted by path."
+        ),
+    ),
+    Rule(
+        code="D002",
+        name="no-ambient-rng",
+        summary="ambient randomness outside repro.sim.rng",
+        rationale=(
+            "stdlib random/uuid and numpy's global or OS-entropy-seeded "
+            "generators are invisible to the seed plumbing: a draw from "
+            "them produces results that cannot be reproduced from the "
+            "run's root seed.  All stochastic elements draw from named "
+            "RngStreams children."
+        ),
+    ),
+    Rule(
+        code="D003",
+        name="no-unordered-iteration",
+        summary="iteration over an unordered collection",
+        rationale=(
+            "set/frozenset iteration order depends on PYTHONHASHSEED for "
+            "str keys and on insertion history for ints; os.listdir and "
+            "glob order depends on the filesystem.  If that order feeds "
+            "event scheduling, RNG draws, or trace emission, the digest "
+            "changes between hosts.  Wrap the source in sorted() or keep "
+            "an ordered list alongside the membership set."
+        ),
+    ),
+    Rule(
+        code="D004",
+        name="no-float-time-equality",
+        summary="float equality on simulated times",
+        rationale=(
+            "Simulated timestamps are accumulated floats; == on them is "
+            "exact bit comparison, so a refactor that reassociates an "
+            "addition flips the branch.  Compare with an explicit "
+            "tolerance, or suppress with a reason when exactness is the "
+            "point (e.g. a same-instant cache key)."
+        ),
+    ),
+    Rule(
+        code="D005",
+        name="no-frozen-mutation",
+        summary="mutation of a frozen dataclass export",
+        rationale=(
+            "TelemetryTimeline, findings, trace events and friends are "
+            "frozen because downstream verdicts treat them as evidence; "
+            "object.__setattr__ or attribute assignment through a "
+            "frozen-annotated name silently invalidates digests already "
+            "taken from them.  Only the defining class may use the "
+            "frozen-init idiom."
+        ),
+    ),
+    Rule(
+        code="E001",
+        name="suppression-without-reason",
+        summary="reprolint disable comment carries no reason",
+        rationale=(
+            "`# reprolint: disable=Dxxx (reason)` is an audited waiver; "
+            "without the parenthesised reason there is no record of why "
+            "the hazard was judged safe, so the bare form is rejected."
+        ),
+    ),
+)
+
+#: code -> Rule, in rule-book order
+RULES: Dict[str, Rule] = {r.code: r for r in _RULE_DEFS}
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by code (KeyError on unknown codes)."""
+    return RULES[code]

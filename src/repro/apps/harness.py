@@ -71,6 +71,7 @@ class SimJob:
         client_failover: Optional[bool] = None,
         erasure: Optional["tuple[int, int]"] = None,
         telemetry: Optional[bool] = None,
+        sanitize: Optional[bool] = None,
     ):
         # fault-injection conveniences: the schedule, the retry switch and
         # the placement knobs live on the machine config, but a job
@@ -88,12 +89,14 @@ class SimJob:
             overrides["ec_k"], overrides["ec_m"] = erasure
         if telemetry is not None:
             overrides["telemetry"] = telemetry
+        if sanitize is not None:
+            overrides["sanitize"] = sanitize
         if overrides:
             machine = machine.with_overrides(**overrides)
         self.machine = machine
         self.ntasks = int(ntasks)
         self.seed = int(seed)
-        self.engine = Engine()
+        self.engine = Engine(sanitize=machine.sanitize)
         self.rng = RngStreams(seed)
         self.world = World(
             self.ntasks,
@@ -126,6 +129,8 @@ class SimJob:
         self, rank_fn: Callable[..., Generator], *args: Any, **kwargs: Any
     ) -> AppResult:
         per_rank = self.world.run(rank_fn, *args, **kwargs)
+        if self.engine.sanitize:
+            self.engine.assert_race_free()
         return AppResult(
             trace=self.collector.trace,
             elapsed=self.world.elapsed,

@@ -83,6 +83,8 @@ def _machine(name: str, args=None) -> MachineConfig:
         overrides["client_retry"] = True
     if getattr(args, "telemetry", False):
         overrides["telemetry"] = True
+    if getattr(args, "sanitize", False):
+        overrides["sanitize"] = True
     replicate = getattr(args, "replicate", None)
     erasure = getattr(args, "erasure", None)
     if replicate is not None and erasure is not None:
@@ -144,6 +146,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="record server-side per-OST telemetry during the "
                         "run and print its summary (ground truth for the "
                         "ensemble diagnosis oracle)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the engine's sim-race sanitizer: fail the run "
+                        "if any same-timestamp event ordering is decided "
+                        "only by heap insertion sequence, or if telemetry "
+                        "is written after export")
     p.add_argument("--replicate", type=int, metavar="K",
                    help="mirror every stripe on K distinct OSTs; the "
                         "client fails reads over to a surviving copy "

@@ -161,6 +161,14 @@ class MachineConfig:
     #: width of one telemetry bucket in simulated seconds
     telemetry_dt: float = 0.1
 
+    # -- determinism sanitizer ------------------------------------------------
+    #: run the engine's sim-race detector: flag same-timestamp events on one
+    #: resource whose order is decided only by heap insertion sequence, and
+    #: seal exported telemetry against late writes.  Pure observation -- a
+    #: sanitized run is byte-identical to an unsanitized one (the golden
+    #: suite re-runs with this on to pin that).
+    sanitize: bool = False
+
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
     noise_sigma: float = 0.12

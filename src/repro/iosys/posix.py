@@ -266,10 +266,19 @@ class IoSystem:
         return sum(c.reconstruction_events for c in self._clients.values())
 
     def telemetry_timeline(self) -> Optional[TelemetryTimeline]:
-        """The frozen server-side timeline, or None with telemetry off."""
+        """The frozen server-side timeline, or None with telemetry off.
+
+        Under ``Engine(sanitize=True)`` the collector itself is sealed
+        first: the export is a *result*, and any hook firing after this
+        point would corrupt data the caller already holds -- the freeze
+        turns that silent corruption into a loud
+        :class:`~repro.iosys.telemetry.FrozenTelemetryError`."""
         if self.telemetry is None:
             return None
-        return self.telemetry.timeline()
+        timeline = self.telemetry.timeline()
+        if self.engine.sanitize:
+            self.telemetry.freeze()
+        return timeline
 
 
 class PosixIo:

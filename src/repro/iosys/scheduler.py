@@ -507,7 +507,7 @@ class Facility:
         self.machine = machine
         self.jobs = jobs
         self.seed = int(seed)
-        self.engine = Engine()
+        self.engine = Engine(sanitize=machine.sanitize)
         self.rng = RngStreams(seed)
         self._interconnect = interconnect or Interconnect(
             latency=5e-6, bandwidth=1.6e9
@@ -669,6 +669,8 @@ class Facility:
                 )
             )
         elapsed = max(jr.t_end for jr in job_results) - start
+        if self.engine.sanitize:
+            self.engine.assert_race_free()
         return FacilityResult(
             machine=self.machine,
             iosys=self.iosys,

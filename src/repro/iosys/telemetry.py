@@ -34,6 +34,7 @@ a counter increment at time ``t`` lands in bucket ``int(t // dt)``.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -46,10 +47,36 @@ __all__ = [
     "TelemetryCollector",
     "TelemetryTimeline",
     "JobWindow",
+    "FrozenTelemetryError",
     "OST_FIELDS",
     "MDS_FIELDS",
     "TENANT_OST_FIELDS",
 ]
+
+
+class FrozenTelemetryError(RuntimeError):
+    """A ``record_*`` hook fired after the collector was frozen.
+
+    Exported telemetry is a *result*: once :meth:`TelemetryCollector.freeze`
+    runs (at timeline export, under ``Engine(sanitize=True)``), any further
+    recording means some component kept accounting into data the caller
+    already treats as final -- a silent-corruption bug.  The message carries
+    ``file:line`` of both the freeze and the late write.
+    """
+
+    def __init__(self, hook: str, freeze_site: str, write_site: str):
+        self.hook = hook
+        self.freeze_site = freeze_site
+        self.write_site = write_site
+        super().__init__(
+            f"telemetry write after freeze: {hook}() called at "
+            f"{write_site}, but the collector was frozen at {freeze_site}"
+        )
+
+
+def _caller_site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 #: per-device counter fields, one ``(n_buckets, n_osts)`` array each
 OST_FIELDS = (
@@ -172,7 +199,10 @@ class TelemetryCollector:
     # -- bucketing ----------------------------------------------------------
     def _bucket(self) -> int:
         t = self._clock.now
-        if t == self._last_t:
+        # exact float compare is intended: sim time is piecewise constant
+        # across the hooks of one op, so a cache hit means *bit-identical*
+        # now -- a tolerance would merge adjacent instants incorrectly
+        if t == self._last_t:  # reprolint: disable=D004 (same-instant cache key; exact identity is the contract)
             return self._last_b
         b = int(t // self.dt)
         self._last_t = t
@@ -320,6 +350,40 @@ class TelemetryCollector:
         if self._track:
             tkey = (b, tenant)
             self._tmds_ops[tkey] = self._tmds_ops.get(tkey, 0.0) + 1.0
+
+    # -- freeze (write-after-freeze detection) ------------------------------
+    #: every mutating hook; freeze() swaps each for a raising stub
+    _RECORD_HOOKS = (
+        "record_job", "record_write", "record_read", "record_rpcs",
+        "record_in", "record_out", "record_degraded", "record_recon",
+        "record_stale", "record_parity", "record_retries",
+        "op_begin", "op_end", "record_mds",
+    )
+
+    #: file:line where freeze() ran, or None while live
+    _frozen_at: Optional[str] = None
+
+    def freeze(self) -> None:
+        """Seal the collector: any later ``record_*`` call raises
+        :class:`FrozenTelemetryError` naming both the freeze site and the
+        offending write site.
+
+        Implemented by shadowing each hook with a raising stub on the
+        *instance*, so the live (pre-freeze) hot path pays nothing -- no
+        per-call flag check.  Idempotent.
+        """
+        if self._frozen_at is not None:
+            return
+        freeze_site = _caller_site()
+        self._frozen_at = freeze_site
+
+        def make_stub(hook: str):
+            def stub(*args: object, **kwargs: object) -> None:
+                raise FrozenTelemetryError(hook, freeze_site, _caller_site())
+            return stub
+
+        for name in self._RECORD_HOOKS:
+            setattr(self, name, make_stub(name))
 
     # -- export -------------------------------------------------------------
     def timeline(self) -> "TelemetryTimeline":

@@ -1,6 +1,17 @@
 """Discrete-event simulation kernel (engine, resources, RNG streams)."""
 
-from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimRace,
+    SimRaceError,
+    SimulationError,
+    Timeout,
+)
 from .resources import Lock, Semaphore, Server, SharedPipe, SlotChannel
 from .rng import RngStreams
 
@@ -11,6 +22,8 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "SimRace",
+    "SimRaceError",
     "SimulationError",
     "Timeout",
     "Lock",

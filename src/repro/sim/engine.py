@@ -26,7 +26,9 @@ stalled storage target and re-issue it with backoff.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Engine",
@@ -37,6 +39,8 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "SimRace",
+    "SimRaceError",
 ]
 
 
@@ -47,9 +51,57 @@ class SimulationError(RuntimeError):
 class Interrupt(Exception):
     """Thrown into a process that another process interrupted."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
+
+
+@dataclass(frozen=True)
+class SimRace:
+    """One detected scheduling ambiguity: two same-timestamp events on
+    the same resource whose relative order is decided only by heap
+    insertion sequence.
+
+    ``first``/``second`` are ``(op, "file:line")`` pairs naming each
+    offending schedule's operation and source provenance, in the order
+    the engine happened to dispatch them -- the point of the report is
+    that the opposite order would have been equally legal.
+    """
+
+    resource: str
+    time: float
+    first: Tuple[str, str]
+    second: Tuple[str, str]
+
+    def format(self) -> str:
+        return (
+            f"sim race on {self.resource!r} at t={self.time:.9g}: "
+            f"{self.first[0]} scheduled at {self.first[1]} vs "
+            f"{self.second[0]} scheduled at {self.second[1]} "
+            f"(pop order decided only by insertion sequence)"
+        )
+
+
+class SimRaceError(SimulationError):
+    """Raised by :meth:`Engine.assert_race_free` when the sanitizer saw
+    order-dependent same-timestamp schedules."""
+
+    def __init__(self, races: "List[SimRace]") -> None:
+        self.races = list(races)
+        lines = [f"{len(self.races)} simulation race(s) detected:"]
+        lines += [f"  - {r.format()}" for r in self.races]
+        super().__init__("\n".join(lines))
+
+
+def _schedule_site(skip_module: str) -> str:
+    """``file:line`` of the nearest caller outside ``skip_module`` --
+    the provenance a race report points at."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == skip_module:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only if called at top level
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 
 class Event:
@@ -61,14 +113,18 @@ class Event:
     :class:`AllOf`.
     """
 
-    __slots__ = ("engine", "_value", "_exc", "_triggered", "_callbacks")
+    __slots__ = ("engine", "_value", "_exc", "_triggered", "_callbacks", "_san")
 
-    def __init__(self, engine: "Engine"):
+    def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._triggered = False
         self._callbacks: List[Callable[["Event"], None]] = []
+        #: sanitizer annotation (resource, op, exclusive, site); None
+        #: outside sanitize mode -- a single slot keeps the non-sanitized
+        #: hot path to one extra store per event
+        self._san: Optional[Tuple[str, str, bool, str]] = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -121,7 +177,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
         super().__init__(engine)
@@ -137,7 +193,7 @@ class Process(Event):
 
     __slots__ = ("_gen", "name", "_waiting_on")
 
-    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
         super().__init__(engine)
         self._gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -226,7 +282,7 @@ class AllOf(Event):
 
     __slots__ = ("_events", "_remaining")
 
-    def __init__(self, engine: "Engine", events: Iterable[Event]):
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
         super().__init__(engine)
         self._events = list(events)
         self._remaining = len(self._events)
@@ -260,7 +316,7 @@ class AnyOf(Event):
 
     __slots__ = ("_events",)
 
-    def __init__(self, engine: "Engine", events: Iterable[Event]):
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
         super().__init__(engine)
         self._events = list(events)
         if not self._events:
@@ -278,15 +334,96 @@ class AnyOf(Event):
 
 
 class Engine:
-    """The event loop: a priority queue of (time, seq, event)."""
+    """The event loop: a priority queue of (time, seq, event).
 
-    def __init__(self):
+    With ``sanitize=True`` the engine additionally runs the *sim-race
+    detector*: resources and user processes may annotate scheduled
+    events with :meth:`annotate`, and the dispatcher reports any two
+    same-timestamp events on the same resource whose relative order is
+    decided only by the heap's insertion sequence -- the classic way a
+    refactor silently changes golden digests.  Races are collected in
+    :attr:`races` (with ``file:line`` provenance of *both* offending
+    schedules) and surfaced by :meth:`assert_race_free`.  Sanitizing is
+    pure observation: it never adds events, draws RNG, or shifts time,
+    so a sanitized run is byte-identical to an unsanitized one.
+    """
+
+    def __init__(self, sanitize: bool = False) -> None:
         self.now: float = 0.0
-        self._heap: List = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._crash_on_unhandled = True
         self._event_count = 0
+        #: sim-race sanitizer switch (constructor-only; flipping it
+        #: mid-run would make race windows meaningless)
+        self.sanitize = bool(sanitize)
+        #: races detected so far (sanitize mode only)
+        self.races: List[SimRace] = []
+        # dispatch window for the detector: annotations seen at the
+        # current timestamp, keyed by resource
+        self._san_window_t: float = -1.0
+        self._san_window: Dict[str, List[Tuple[str, bool, str]]] = {}
+
+    # -- sanitizer ----------------------------------------------------------
+    def annotate(
+        self,
+        event: Event,
+        resource: str,
+        op: str = "touch",
+        exclusive: bool = True,
+    ) -> Event:
+        """Tag ``event`` for the race detector: dispatching it *touches*
+        ``resource`` with operation ``op``.
+
+        ``exclusive=True`` (the default for user code) declares the
+        touch order-sensitive: two exclusive touches of one resource at
+        one timestamp are a race.  Core resources pass
+        ``exclusive=False`` after auditing their operations commutative
+        (e.g. two FIFO-server completions at one instant free lanes;
+        which frees first cannot change which queued request is served
+        next, the queue decides that).  Outside sanitize mode this is a
+        no-op returning the event unchanged, so call sites stay on the
+        fast path with a single attribute check.
+        """
+        if self.sanitize:
+            event._san = (
+                str(resource), str(op), bool(exclusive),
+                _schedule_site(__file__),
+            )
+        return event
+
+    def _san_check(self, at: float, event: Event) -> None:
+        """Record an annotated dispatch and report exclusive conflicts."""
+        ann = event._san
+        if ann is None:
+            return
+        # the heap pops bit-identical floats for one instant, so exact
+        # identity is the right window key -- a tolerance would merge
+        # distinct adjacent instants into one false conflict window
+        if at != self._san_window_t:  # reprolint: disable=D004 (same-instant window key; exact identity is the contract)
+            self._san_window_t = at
+            self._san_window.clear()
+        resource, op, exclusive, site = ann
+        seen = self._san_window.get(resource)
+        if seen is None:
+            self._san_window[resource] = [(op, exclusive, site)]
+            return
+        if exclusive:
+            for prev_op, prev_exclusive, prev_site in seen:
+                if prev_exclusive:
+                    self.races.append(SimRace(
+                        resource=resource,
+                        time=at,
+                        first=(prev_op, prev_site),
+                        second=(op, site),
+                    ))
+        seen.append((op, exclusive, site))
+
+    def assert_race_free(self) -> None:
+        """Raise :class:`SimRaceError` if the sanitizer saw any race."""
+        if self.races:
+            raise SimRaceError(self.races)
 
     # -- factory helpers ----------------------------------------------------
     def event(self) -> Event:
@@ -334,6 +471,7 @@ class Engine:
         Returns the simulated time when the loop stopped.
         """
         heap = self._heap
+        sanitize = self.sanitize
         while heap:
             at, _seq, event = heap[0]
             if until is not None and at > until:
@@ -344,6 +482,8 @@ class Engine:
                 raise SimulationError("time went backwards")
             self.now = at
             self._event_count += 1
+            if sanitize and event._san is not None:
+                self._san_check(at, event)
             callbacks, event._callbacks = event._callbacks, _CONSUMED
             for fn in callbacks:
                 fn(event)

@@ -19,7 +19,7 @@ stack:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from .engine import Engine, Event, SimulationError
 
@@ -39,7 +39,7 @@ class FifoQueueMixin:
     (:class:`SlotChannel`, :class:`Server`, and the metadata server that
     wraps one)."""
 
-    _queue: Deque
+    _queue: Deque[Tuple[Any, ...]]
     _busy: int
 
     @property
@@ -62,7 +62,7 @@ class SlotChannel(FifoQueueMixin):
     value applies to transfers that start afterwards.
     """
 
-    def __init__(self, engine: Engine, bandwidth: float, slots: int = 1):
+    def __init__(self, engine: Engine, bandwidth: float, slots: int = 1) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         if slots < 1:
@@ -103,6 +103,15 @@ class SlotChannel(FifoQueueMixin):
             duration = (nbytes / rate) * factor
             self.bytes_transferred += nbytes
             tmo = self.engine.timeout(duration)
+            if self.engine.sanitize:
+                # Commutative: a completion frees a slot; which of two
+                # same-instant completions frees first cannot change which
+                # queued transfer starts next (the FIFO queue decides) nor
+                # its duration (computed here at drain time).
+                self.engine.annotate(
+                    tmo, f"slotchannel@{id(self):x}",
+                    op="complete", exclusive=False,
+                )
             tmo.add_callback(lambda ev, d=done, dur=duration: self._finish(d, dur))
 
     def _finish(self, done: Event, duration: float) -> None:
@@ -119,13 +128,13 @@ class SharedPipe:
     bottleneck link, and O(active) work per change.
     """
 
-    def __init__(self, engine: Engine, capacity: float):
+    def __init__(self, engine: Engine, capacity: float) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.engine = engine
         self.capacity = float(capacity)
         # transfer id -> [remaining_bytes, done_event, start_time]
-        self._active: dict = {}
+        self._active: Dict[int, List[Any]] = {}
         self._next_id = 0
         self._last_update = 0.0
         self._completion_timer: Optional[Event] = None
@@ -176,6 +185,14 @@ class SharedPipe:
         delay = max(min_remaining, 0.0) / rate
         token = self._timer_token
         tmo = self.engine.timeout(delay)
+        if self.engine.sanitize:
+            # Commutative: stale timers are no-ops (token guard) and the
+            # live timer's settle/complete logic reads only engine.now,
+            # never the relative dispatch order at one instant.
+            self.engine.annotate(
+                tmo, f"sharedpipe@{id(self):x}",
+                op="rearm", exclusive=False,
+            )
         tmo.add_callback(lambda ev: self._on_timer(token))
 
     def _on_timer(self, token: int) -> None:
@@ -221,7 +238,7 @@ class Server(FifoQueueMixin):
         concurrency: int = 1,
         overhead: float = 0.0,
         name: str = "server",
-    ):
+    ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
         if concurrency < 1:
@@ -255,6 +272,14 @@ class Server(FifoQueueMixin):
             self.requests_served += 1
             self.busy_time += duration
             tmo = self.engine.timeout(duration)
+            if self.engine.sanitize:
+                # Commutative: same argument as SlotChannel -- completions
+                # free capacity, the FIFO queue alone picks the next
+                # request, and durations are fixed at drain time.
+                self.engine.annotate(
+                    tmo, f"server:{self.name}@{id(self):x}",
+                    op="complete", exclusive=False,
+                )
             tmo.add_callback(lambda ev, d=done, dur=duration: self._finish(d, dur))
 
     def _finish(self, done: Event, duration: float) -> None:
@@ -267,7 +292,7 @@ class Lock:
     """FIFO mutex.  ``acquire()`` returns an event; call :meth:`release`
     from the holder when done."""
 
-    def __init__(self, engine: Engine, name: str = "lock"):
+    def __init__(self, engine: Engine, name: str = "lock") -> None:
         self.engine = engine
         self.name = name
         self._held = False
@@ -306,7 +331,7 @@ class Lock:
 class Semaphore:
     """Counting semaphore with FIFO waiters."""
 
-    def __init__(self, engine: Engine, capacity: int, name: str = "sem"):
+    def __init__(self, engine: Engine, capacity: int, name: str = "sem") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.engine = engine

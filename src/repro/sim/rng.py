@@ -17,7 +17,7 @@ seeds and comparing distributions.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
@@ -27,7 +27,7 @@ __all__ = ["RngStreams"]
 class RngStreams:
     """A registry of named, independent ``numpy.random.Generator`` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
@@ -62,7 +62,9 @@ class RngStreams:
         draw = float(self.stream(name).lognormal(mean=0.0, sigma=sigma))
         return min(draw, cap)
 
-    def choice_weighted(self, name: str, options, weights) -> object:
+    def choice_weighted(
+        self, name: str, options: Sequence[Any], weights: Sequence[float]
+    ) -> Any:
         """Draw one of ``options`` with the given weights."""
         w = np.asarray(weights, dtype=float)
         w = w / w.sum()

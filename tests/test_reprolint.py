@@ -1,0 +1,386 @@
+"""Self-tests for the ``reprolint`` rule book.
+
+Every rule gets three kinds of case: a *positive* (the hazard fires), a
+*negative* (the deterministic idiom stays clean), and a *suppression*
+(the escape hatch works, but only with a reason).  The linter guards the
+simulator's byte-identity claims, so its own behaviour is pinned just as
+tightly as the engine's.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, lint_paths, lint_source
+from repro.analysis.lint import main
+from repro.analysis.rules import RULES
+
+
+def run(source: str, path: str = "src/repro/x.py", **kwargs):
+    return lint_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+def codes(violations):
+    return [v.rule for v in violations]
+
+
+# -- rule book sanity ----------------------------------------------------------
+
+def test_rule_book_is_complete():
+    assert set(RULES) == {"D001", "D002", "D003", "D004", "D005", "E001"}
+    for r in RULES.values():
+        assert r.summary and r.rationale
+
+
+# -- D001: no wall clock -------------------------------------------------------
+
+def test_d001_time_module_call():
+    v = run("import time\nstart = time.time()\n")
+    assert codes(v) == ["D001"]
+    assert v[0].line == 2
+
+
+def test_d001_from_import_and_call():
+    v = run("from time import perf_counter\nx = perf_counter()\n")
+    assert codes(v) == ["D001", "D001"]  # the binding and the call
+
+
+def test_d001_datetime_now():
+    v = run("import datetime\nstamp = datetime.datetime.now()\n")
+    assert codes(v) == ["D001"]
+
+
+def test_d001_negative_engine_now():
+    assert run("def f(engine):\n    return engine.now\n") == []
+
+
+def test_d001_allowed_in_benchmarks():
+    v = run(
+        "import time\nt0 = time.perf_counter()\n",
+        path="benchmarks/bench_engine.py",
+    )
+    assert v == []
+
+
+def test_d001_suppression_with_reason():
+    v = run(
+        "import time\n"
+        "t0 = time.time()  # reprolint: disable=D001 (measures host, not sim)\n"
+    )
+    assert v == []
+
+
+# -- D002: no ambient RNG ------------------------------------------------------
+
+def test_d002_stdlib_random_import():
+    assert codes(run("import random\n")) == ["D002"]
+
+
+def test_d002_stdlib_uuid_from_import():
+    assert codes(run("from uuid import uuid4\n")) == ["D002"]
+
+
+def test_d002_numpy_global_state():
+    v = run("import numpy as np\nx = np.random.rand(4)\n")
+    assert codes(v) == ["D002"]
+
+
+def test_d002_unseeded_default_rng():
+    v = run("import numpy as np\ng = np.random.default_rng()\n")
+    assert codes(v) == ["D002"]
+
+
+def test_d002_negative_seeded_generator():
+    src = """
+    import numpy as np
+    g = np.random.default_rng(42)
+    x = g.normal(size=3)
+    """
+    assert run(src) == []
+
+
+def test_d002_allowed_in_rng_home():
+    v = run("import random\n", path="src/repro/sim/rng.py")
+    assert v == []
+
+
+def test_d002_suppression_with_reason():
+    v = run(
+        "import random  # reprolint: disable=D002 (doc example, never run)\n"
+    )
+    assert v == []
+
+
+# -- D003: no unordered iteration ---------------------------------------------
+
+def test_d003_for_over_set_call():
+    v = run("def f(xs):\n    for x in set(xs):\n        print(x)\n")
+    assert codes(v) == ["D003"]
+
+
+def test_d003_tainted_name():
+    src = """
+    def f(xs):
+        devs = set(xs)
+        for d in devs:
+            print(d)
+    """
+    assert codes(run(src)) == ["D003"]
+
+
+def test_d003_list_of_set():
+    assert codes(run("def f(xs):\n    return list(set(xs))\n")) == ["D003"]
+
+
+def test_d003_join_of_set():
+    src = """
+    def f(xs):
+        names = set(xs)
+        return ",".join(names)
+    """
+    assert codes(run(src)) == ["D003"]
+
+
+def test_d003_set_algebra_of_tainted_names():
+    src = """
+    def f(xs, ys):
+        a = set(xs)
+        b = set(ys)
+        for x in a | b:
+            print(x)
+    """
+    assert codes(run(src)) == ["D003"]
+
+
+def test_d003_dict_comprehension():
+    src = """
+    def f(xs):
+        return {x: 0 for x in set(xs)}
+    """
+    assert codes(run(src)) == ["D003"]
+
+
+def test_d003_negative_sorted():
+    src = """
+    def f(xs):
+        for x in sorted(set(xs)):
+            print(x)
+        return sorted({1, 2})
+    """
+    assert run(src) == []
+
+
+def test_d003_negative_order_free_consumers():
+    src = """
+    def f(xs):
+        s = set(xs)
+        return len(s), min(s), max(s), sum(s), 3 in s
+    """
+    assert run(src) == []
+
+
+def test_d003_negative_rebound_name_clears_taint():
+    src = """
+    def f(xs):
+        devs = set(xs)
+        devs = sorted(devs)
+        for d in devs:
+            print(d)
+    """
+    assert run(src) == []
+
+
+def test_d003_suppression_with_reason():
+    src = """
+    def f(xs):
+        for x in set(xs):  # reprolint: disable=D003 (commutative sum)
+            print(x)
+    """
+    assert run(src) == []
+
+
+# -- D004: no float == on simulated times -------------------------------------
+
+def test_d004_eq_on_time_name():
+    v = run("def f(now, other):\n    return now == other\n")
+    assert codes(v) == ["D004"]
+
+
+def test_d004_noteq_on_time_suffix():
+    v = run("def f(stall_t, x):\n    return stall_t != x\n")
+    assert codes(v) == ["D004"]
+
+
+def test_d004_attribute_time():
+    v = run("def f(engine, x):\n    return engine.now == x\n")
+    assert codes(v) == ["D004"]
+
+
+def test_d004_negative_ordering_comparisons():
+    src = """
+    def f(now, deadline):
+        return now < deadline or now >= deadline
+    """
+    assert run(src) == []
+
+
+def test_d004_negative_non_time_names():
+    assert run("def f(count, n):\n    return count == n\n") == []
+
+
+def test_d004_negative_string_constant():
+    assert run("def f(timeout):\n    return timeout == 'none'\n") == []
+
+
+def test_d004_suppression_comment_only_line():
+    src = """
+    def f(now, cached):
+        # reprolint: disable=D004 (cache key is exact by construction)
+        return now == cached
+    """
+    assert run(src) == []
+
+
+# -- D005: no frozen mutation --------------------------------------------------
+
+FROZEN_SRC = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Evidence:
+    score: float
+"""
+
+
+def test_d005_mutation_of_annotated_param():
+    src = FROZEN_SRC + """
+def fudge(ev: Evidence):
+    ev.score = 1.0
+"""
+    assert codes(run(src)) == ["D005"]
+
+
+def test_d005_object_setattr_outside_class():
+    src = FROZEN_SRC + """
+def fudge(ev: Evidence):
+    object.__setattr__(ev, "score", 1.0)
+"""
+    assert codes(run(src)) == ["D005"]
+
+
+def test_d005_cross_file_frozen_type(tmp_path):
+    (tmp_path / "defs.py").write_text(FROZEN_SRC)
+    (tmp_path / "use.py").write_text(
+        "def fudge(ev: 'Evidence'):\n    ev.score = 2.0\n"
+    )
+    v = lint_paths([str(tmp_path)])
+    assert codes(v) == ["D005"]
+    assert v[0].path.endswith("use.py")
+
+
+def test_d005_negative_post_init_setattr():
+    src = FROZEN_SRC.replace(
+        "    score: float",
+        "    score: float\n"
+        "    def __post_init__(self):\n"
+        "        object.__setattr__(self, 'score', max(self.score, 0.0))",
+    )
+    assert run(src) == []
+
+
+def test_d005_negative_mutable_class():
+    src = """
+    class Tally:
+        def __init__(self):
+            self.count = 0
+
+    def bump(t: Tally):
+        t.count += 1
+    """
+    assert run(src) == []
+
+
+def test_d005_suppression_with_reason():
+    src = FROZEN_SRC + """
+def fudge(ev: Evidence):
+    ev.score = 1.0  # reprolint: disable=D005 (test fixture, copies first)
+"""
+    assert run(src) == []
+
+
+# -- E001: suppressions must carry a reason -----------------------------------
+
+def test_e001_bare_disable_is_flagged_and_does_not_suppress():
+    v = run("import random  # reprolint: disable=D002\n")
+    assert sorted(codes(v)) == ["D002", "E001"]
+
+
+def test_e001_empty_reason_is_flagged():
+    v = run("import random  # reprolint: disable=D002 ()\n")
+    assert sorted(codes(v)) == ["D002", "E001"]
+
+
+def test_multiple_codes_one_disable():
+    src = (
+        "import time, random"
+        "  # reprolint: disable=D001,D002 (fixture exercising both)\n"
+    )
+    assert run(src) == []
+
+
+def test_suppression_only_covers_named_rule():
+    v = run("import random  # reprolint: disable=D001 (wrong rule named)\n")
+    assert codes(v) == ["D002"]
+
+
+# -- violation formatting and CLI ---------------------------------------------
+
+def test_violation_format_is_clickable():
+    v = run("import random\n", path="src/repro/bad.py")
+    assert v[0].format().startswith("src/repro/bad.py:1:0: D002 ")
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("def f(engine):\n    return engine.now\n")
+    assert main([str(tmp_path)]) == 0
+    assert "1 files clean" in capsys.readouterr().err
+
+
+def test_cli_dirty_tree_exits_one(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text("import random\n")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr()
+    assert "D002" in out.out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text("import random\n")
+    assert main(["--format", "json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "D002"
+    assert payload[0]["line"] == 1
+
+
+def test_cli_rules_listing(capsys):
+    assert main(["--rules", "unused"]) == 0
+    out = capsys.readouterr().out
+    for code in ("D001", "D002", "D003", "D004", "D005", "E001"):
+        assert code in out
+
+
+# -- the package itself must be clean -----------------------------------------
+
+def test_repo_source_tree_is_lint_clean():
+    """The acceptance gate: ``python -m repro.analysis.lint src/`` exits 0.
+
+    Run against the installed package directory so the test works from
+    any checkout layout."""
+    import repro
+    from pathlib import Path
+
+    pkg_dir = Path(repro.__file__).parent
+    violations = lint_paths([str(pkg_dir)])
+    assert violations == [], "\n".join(v.format() for v in violations)

@@ -1,0 +1,268 @@
+"""Runtime sim-race sanitizer tests.
+
+Three layers:
+
+1. kernel semantics -- two same-timestamp exclusive touches of one
+   resource are a race, with ``file:line`` provenance of *both*
+   schedules; commutative (``exclusive=False``) touches are not;
+2. write-after-freeze -- a sealed :class:`TelemetryCollector` turns any
+   late ``record_*`` call into a :class:`FrozenTelemetryError` naming
+   the freeze site and the write site;
+3. the acceptance gate -- every golden scenario re-run with the
+   sanitizer forced on stays byte-identical to its committed digest
+   with zero races (sanitizing is pure observation).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.iosys.machine import MachineConfig
+from repro.iosys.telemetry import FrozenTelemetryError, TelemetryCollector
+from repro.sim.engine import Engine, SimRace, SimRaceError
+
+from tests.test_golden_traces import GOLDEN_DIR, SCENARIOS, digest
+
+
+# -- kernel semantics ----------------------------------------------------------
+
+def _race_pair(sanitize: bool) -> Engine:
+    """Two deliberately ambiguous writes: same resource, same instant,
+    order decided only by heap insertion sequence."""
+    engine = Engine(sanitize=sanitize)
+
+    def proc(env):
+        first = env.annotate(env.timeout(1.0), "ost3", op="write")
+        second = env.annotate(env.timeout(1.0), "ost3", op="truncate")
+        yield env.all_of([first, second])
+
+    engine.process(proc(engine))
+    engine.run()
+    return engine
+
+
+def test_same_time_same_resource_is_a_race():
+    engine = _race_pair(sanitize=True)
+    assert len(engine.races) == 1
+    race = engine.races[0]
+    assert isinstance(race, SimRace)
+    assert race.resource == "ost3"
+    assert race.time == pytest.approx(1.0)
+    assert {race.first[0], race.second[0]} == {"write", "truncate"}
+
+
+def test_race_reports_both_schedule_sites():
+    engine = _race_pair(sanitize=True)
+    (race,) = engine.races
+    site_first, site_second = race.first[1], race.second[1]
+    # both provenance strings point into THIS file, at the two distinct
+    # schedule lines inside _race_pair
+    assert "test_sanitizer.py:" in site_first
+    assert "test_sanitizer.py:" in site_second
+    assert site_first != site_second
+    line_first = int(site_first.rsplit(":", 1)[1])
+    line_second = int(site_second.rsplit(":", 1)[1])
+    assert abs(line_second - line_first) == 1
+
+
+def test_assert_race_free_raises_with_both_sites():
+    engine = _race_pair(sanitize=True)
+    with pytest.raises(SimRaceError) as exc:
+        engine.assert_race_free()
+    message = str(exc.value)
+    assert "1 simulation race(s)" in message
+    assert "ost3" in message
+    assert message.count("test_sanitizer.py:") == 2
+    assert exc.value.races == engine.races
+
+
+def test_sanitize_off_is_the_default_and_a_noop():
+    engine = _race_pair(sanitize=False)
+    assert engine.sanitize is False
+    assert engine.races == []
+    engine.assert_race_free()  # does not raise
+
+
+def test_annotate_off_mode_leaves_event_untagged():
+    engine = Engine()
+    ev = engine.timeout(1.0)
+    assert engine.annotate(ev, "r") is ev
+    assert ev._san is None
+
+
+def test_different_resources_do_not_race():
+    engine = Engine(sanitize=True)
+
+    def proc(env):
+        a = env.annotate(env.timeout(1.0), "ost0", op="write")
+        b = env.annotate(env.timeout(1.0), "ost1", op="write")
+        yield env.all_of([a, b])
+
+    engine.process(proc(engine))
+    engine.run()
+    assert engine.races == []
+
+
+def test_different_times_do_not_race():
+    engine = Engine(sanitize=True)
+
+    def proc(env):
+        a = env.annotate(env.timeout(1.0), "ost0", op="write")
+        b = env.annotate(env.timeout(2.0), "ost0", op="write")
+        yield env.all_of([a, b])
+
+    engine.process(proc(engine))
+    engine.run()
+    assert engine.races == []
+
+
+def test_commutative_touches_do_not_race():
+    """exclusive=False is the audited-commutative escape used by the
+    core FIFO resources: same time, same resource, no race."""
+    engine = Engine(sanitize=True)
+
+    def proc(env):
+        a = env.annotate(
+            env.timeout(1.0), "srv", op="complete", exclusive=False
+        )
+        b = env.annotate(
+            env.timeout(1.0), "srv", op="complete", exclusive=False
+        )
+        yield env.all_of([a, b])
+
+    engine.process(proc(engine))
+    engine.run()
+    assert engine.races == []
+
+
+def test_three_way_ambiguity_reports_every_pair():
+    engine = Engine(sanitize=True)
+
+    def proc(env):
+        evs = [
+            env.annotate(env.timeout(1.0), "r", op=f"w{i}") for i in range(3)
+        ]
+        yield env.all_of(evs)
+
+    engine.process(proc(engine))
+    engine.run()
+    assert len(engine.races) == 3  # (w0,w1), (w0,w2), (w1,w2)
+
+
+def test_core_fifo_resources_are_race_free_under_contention():
+    """Many same-instant completions on one Server: the commutativity
+    annotation keeps the audited FIFO path quiet."""
+    from repro.sim.resources import Server
+
+    engine = Engine(sanitize=True)
+    server = Server(engine, rate=1024.0, concurrency=4)
+
+    def proc(env):
+        yield env.all_of([server.request(256.0) for _ in range(12)])
+
+    engine.process(proc(engine))
+    engine.run()
+    assert engine.races == []
+    engine.assert_race_free()
+
+
+# -- write-after-freeze --------------------------------------------------------
+
+class _FakeClock:
+    now = 0.0
+
+
+def _collector() -> TelemetryCollector:
+    config = MachineConfig.testbox(n_osts=4).with_overrides(telemetry=True)
+    return TelemetryCollector(config, _FakeClock())
+
+
+def test_write_after_freeze_raises_with_both_sites():
+    tel = _collector()
+    tel.record_write(0, 1024.0)
+    tel.freeze()
+    with pytest.raises(FrozenTelemetryError) as exc:
+        tel.record_write(1, 2048.0)
+    err = exc.value
+    assert err.hook == "record_write"
+    assert "test_sanitizer.py:" in err.freeze_site
+    assert "test_sanitizer.py:" in err.write_site
+    assert err.freeze_site != err.write_site
+    assert "frozen at" in str(err)
+
+
+def test_freeze_covers_every_record_hook():
+    tel = _collector()
+    tel.freeze()
+    with pytest.raises(FrozenTelemetryError):
+        tel.record_read(0, 1.0)
+    with pytest.raises(FrozenTelemetryError):
+        tel.op_begin([0])
+    with pytest.raises(FrozenTelemetryError):
+        tel.record_mds(1)
+    with pytest.raises(FrozenTelemetryError):
+        tel.record_job(1, "j", "w", 0.0, 1.0)
+
+
+def test_freeze_is_idempotent_and_keeps_export_readable():
+    tel = _collector()
+    tel.record_write(0, 1024.0)
+    tel.freeze()
+    first_site = tel._frozen_at
+    tel.freeze()
+    assert tel._frozen_at == first_site
+    timeline = tel.timeline()
+    assert timeline.ost["bytes_in"].sum() == 1024.0
+
+
+def test_live_collector_records_normally():
+    tel = _collector()
+    tel.record_write(0, 512.0)
+    tel.record_read(1, 256.0)
+    tl = tel.timeline()
+    assert tl.ost["bytes_in"].sum() == 512.0
+    assert tl.ost["bytes_out"].sum() == 256.0
+
+
+def test_harness_freezes_telemetry_under_sanitize():
+    """An end-of-run export from a sanitized SimJob seals the collector:
+    any straggler hook would raise instead of corrupting the result."""
+    result = SCENARIOS_SANITIZED("telemetry_healthy")
+    iosys = result.iosys
+    assert iosys.engine.sanitize
+    assert iosys.telemetry._frozen_at is not None
+    with pytest.raises(FrozenTelemetryError):
+        iosys.telemetry.record_write(0, 1.0)
+
+
+# -- the acceptance gate: goldens under the sanitizer --------------------------
+
+def SCENARIOS_SANITIZED(name):
+    """Run one golden scenario with sanitize forced on in every engine
+    the scenario builds (the builders take no knobs by design: their
+    configs are part of the pinned digest)."""
+    orig = Engine.__init__
+
+    def forced(self, sanitize=False):
+        orig(self, sanitize=True)
+
+    Engine.__init__ = forced
+    try:
+        return SCENARIOS[name]()
+    finally:
+        Engine.__init__ = orig
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_byte_identical_with_sanitizer(name):
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    result = SCENARIOS_SANITIZED(name)
+    engine = result.iosys.engine
+    assert engine.sanitize is True
+    assert engine.races == [], "\n".join(r.format() for r in engine.races)
+    assert digest(result) == golden, (
+        f"{name}: sanitizing must be pure observation -- same digest as "
+        f"the unsanitized golden"
+    )
