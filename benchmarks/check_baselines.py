@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Verify every benchmark module has a committed baseline record.
+"""Verify benchmark baselines exist and sit inside stored history.
 
 Each ``benchmarks/bench_<name>.py`` must ship a matching
 ``benchmarks/results/BENCH_<name>.json`` (written by the conftest's
@@ -7,10 +7,20 @@ Each ``benchmarks/bench_<name>.py`` must ship a matching
 without a baseline means the benchmark was added but never run with
 timings enabled -- the review record the results directory exists to
 keep would silently go missing.  Exits non-zero listing the gaps.
+
+With ``--store PATH`` the committed baselines are additionally compared
+against the run store's accumulated history: each baseline's mean wall
+time must sit inside the history's timing fence (robust IQR fence with
+a relative-tolerance floor, see :func:`repro.store.analytics.timing_fence`)
+rather than within a fixed percentage of a single stored point -- the
+fleet's own spread sets the tolerance.  A missing or empty store is not
+an error (JSON-only fallback): history has to come from somewhere first.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -28,7 +38,63 @@ def missing_baselines() -> "list[str]":
     return missing
 
 
-def main() -> int:
+def check_store_history(store_path: str) -> "list[str]":
+    """Compare committed baseline timings against stored history.
+
+    Returns a list of violation strings; empty means every baseline
+    whose benchmark has history sits inside its fence.
+    """
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    from repro.store import RunStore, timing_fence
+
+    if not Path(store_path).exists():
+        print(f"store {store_path} absent; JSON-only baseline check")
+        return []
+    with RunStore(store_path, create=False) as store:
+        history: "dict[str, list[float]]" = {}
+        for record in store.query(kind="benchmark"):
+            wall = record.metrics.get("wall_mean_s")
+            if wall is not None:
+                history.setdefault(record.name, []).append(float(wall))
+    if not history:
+        print(f"store {store_path} has no benchmark history; "
+              f"JSON-only baseline check")
+        return []
+
+    violations = []
+    checked = 0
+    for baseline in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        name = baseline.stem[len("BENCH_"):]
+        entries = json.loads(baseline.read_text(encoding="utf-8"))
+        for entry in entries:
+            bench = str(entry.get("benchmark", name))
+            group = f"{name}::{bench}" if bench != name else name
+            stats = entry.get("stats") or {}
+            mean = stats.get("mean")
+            past = history.get(group)
+            if mean is None or not past:
+                continue
+            checked += 1
+            median, threshold = timing_fence(past)
+            if float(mean) > threshold:
+                violations.append(
+                    f"{group}: baseline mean {float(mean):.4f}s above the "
+                    f"history fence {threshold:.4f}s "
+                    f"(n={len(past)}, median {median:.4f}s)"
+                )
+    print(f"store history check: {checked} baseline timing(s) compared "
+          f"against {store_path}")
+    return violations
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="also fence baseline timings against this run store's history",
+    )
+    args = parser.parse_args(argv)
+
     gaps = missing_baselines()
     if gaps:
         print("missing benchmark baselines (run "
@@ -39,6 +105,14 @@ def main() -> int:
         return 1
     print(f"all {len(list(BENCH_DIR.glob('bench_*.py')))} benchmark "
           f"modules have committed baselines")
+
+    if args.store:
+        violations = check_store_history(args.store)
+        if violations:
+            print("baseline timings outside stored history:")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
     return 0
 
 

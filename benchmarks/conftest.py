@@ -16,11 +16,17 @@ Each benchmark module additionally leaves a machine-readable record at
 ``extra_info`` series); the committed copies are the review baseline.
 Smoke runs (``--benchmark-disable``) produce no timings and rewrite no
 baselines.
+
+Setting ``REPRO_STORE_DB=/path/to/db`` additionally persists every
+benchmark entry into the run store -- through the same
+``records_from_bench_entries`` code path the backfill ingester uses, so
+live capture and backfill can never drift apart.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -75,3 +81,25 @@ def pytest_sessionfinish(session, exitstatus):
         path.write_text(
             json.dumps(records, indent=2, sort_keys=True) + "\n"
         )
+
+    db_path = os.environ.get("REPRO_STORE_DB")
+    if not db_path:
+        return
+    from repro.store import RunStore, records_from_bench_entries
+    from repro.store.clock import utc_stamp
+
+    stamp = utc_stamp()
+    with RunStore(db_path) as store:
+        inserted = 0
+        for module, records in sorted(by_module.items()):
+            name = (
+                module[len("bench_"):]
+                if module.startswith("bench_") else module
+            )
+            for record in records_from_bench_entries(
+                name, records, source="live", created_at=stamp
+            ):
+                inserted += int(store.put(record))
+        total = len(store)
+    print(f"\nrun store: {inserted} benchmark record(s) -> "
+          f"{db_path} ({total} total)")

@@ -11,9 +11,14 @@
                                  [--victim NAME] [--machine NAME] ...
     python -m repro analyze      TRACE [--nranks N]
     python -m repro experiments  [paper|small|tiny] [fig1 ...]
+    python -m repro store        ingest|report|regressions|query ...
 
 ``run-*`` commands simulate a workload, print the IPM report, and can
-persist the trace (``--save run.npz``) for later ``analyze``.
+persist the trace (``--save run.npz``) for later ``analyze``, or append
+one :class:`~repro.store.RunRecord` (config fingerprint, trace digest,
+timings, telemetry summary) to the persistent run store
+(``--store runstore.sqlite``) for fleet-scale analysis with
+``repro store report`` / ``repro store regressions``.
 
 Every ``run-*`` command accepts ``--fault SPEC`` (repeatable) to inject
 time-windowed storage faults, ``--retry`` to enable the client's RPC
@@ -160,6 +165,54 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "M parity units on distinct OSTs; reads behind a "
                         "stalled device are rebuilt from the group's "
                         "survivors (mutually exclusive with --replicate)")
+    p.add_argument("--store", metavar="DB",
+                   help="append this run's record (config fingerprint, "
+                        "trace digest, timings) to the persistent run "
+                        "store at DB")
+
+
+def _run_app(runner, cfg, args):
+    """Run one workload; measure host wall time when it will be stored.
+
+    The timing brackets the whole simulation but is read only in the
+    driver layer -- nothing inside the simulation ever sees it.
+    """
+    if not getattr(args, "store", None):
+        return runner(cfg), None
+    from .store.clock import host_seconds
+
+    t_host0 = host_seconds()
+    result = runner(cfg)
+    return result, host_seconds() - t_host0
+
+
+def _store_run(result, args, name: str, *, machine=None, wall_time=None,
+               findings=(), oracle=None) -> None:
+    """Persist one frozen result when ``--store`` was given.
+
+    Runs strictly after the simulation completed: recording is pure
+    observation and cannot perturb the trace the goldens pin.
+    """
+    if not getattr(args, "store", None):
+        return
+    from .store import RunStore, record_from_app_result
+    from .store.clock import utc_stamp
+
+    record = record_from_app_result(
+        result,
+        name=name,
+        kind="run",
+        seed=getattr(args, "seed", None),
+        machine=machine,
+        wall_time=wall_time,
+        created_at=utc_stamp(),
+        findings=findings,
+        oracle=oracle,
+    )
+    with RunStore(args.store) as store:
+        fresh = store.put(record)
+    status = "stored" if fresh else "already stored"
+    print(f"\nrun {status}: {record.run_id[:12]} -> {args.store}")
 
 
 def _finish(result, ntasks: int, args) -> None:
@@ -189,10 +242,11 @@ def _cmd_run_ior(args) -> int:
         machine=machine,
         seed=args.seed,
     )
-    result = run_ior(cfg)
+    result, wall = _run_app(run_ior, cfg, args)
     _finish(result, cfg.ntasks, args)
     print(f"IOR data rate: {result.meta['data_rate'] / MiB:.0f} MB/s "
           f"(fair share {cfg.fair_share_rate / MiB:.1f} MB/s per task)")
+    _store_run(result, args, "ior", wall_time=wall)
     return 0
 
 
@@ -207,9 +261,10 @@ def _cmd_run_madbench(args) -> int:
         machine=machine,
         seed=args.seed,
     )
-    result = run_madbench(cfg)
+    result, wall = _run_app(run_madbench, cfg, args)
     _finish(result, cfg.ntasks, args)
     print(f"degraded reads: {result.meta['degraded_reads']}")
+    _store_run(result, args, "madbench", wall_time=wall)
     return 0
 
 
@@ -224,10 +279,11 @@ def _cmd_run_gcrm(args) -> int:
         machine=machine,
         seed=args.seed,
     )
-    result = run_gcrm(cfg)
+    result, wall = _run_app(run_gcrm, cfg, args)
     _finish(result, result.ntasks, args)
     print(f"sustained write rate: "
           f"{result.meta['sustained_rate'] / (1024 * MiB):.2f} GB/s")
+    _store_run(result, args, "gcrm", wall_time=wall)
     return 0
 
 
@@ -260,7 +316,7 @@ def _cmd_run_facility(args) -> int:
         facility = Facility(machine, jobs, seed=args.seed)
     except ValueError as exc:
         raise SystemExit(f"bad facility: {exc}")
-    result = facility.run()
+    result, wall = _run_app(lambda _cfg: facility.run(), None, args)
 
     print(f"facility: {len(jobs)} jobs, makespan {result.elapsed:.1f} s")
     for jr in result.jobs:
@@ -272,11 +328,12 @@ def _cmd_run_facility(args) -> int:
     if result.telemetry is not None:
         print()
         print(result.telemetry.format_summary())
+    findings = []
+    report = None
     if len(jobs) >= 2 and result.telemetry is not None:
         victims = (
             [result.job(args.victim)] if args.victim else result.jobs
         )
-        findings = []
         for jr in victims:
             findings.extend(
                 find_interference(jr.trace, result.telemetry, jr.tenant)
@@ -286,7 +343,8 @@ def _cmd_run_facility(args) -> int:
             for f in findings:
                 print(f)
             print()
-            print(verify_interference(findings, result.telemetry).format())
+            report = verify_interference(findings, result.telemetry)
+            print(report.format())
         else:
             print("no cross-tenant interference detected")
     if args.analyze:
@@ -295,6 +353,10 @@ def _cmd_run_facility(args) -> int:
     if args.save:
         save_trace(result.trace, args.save)
         print(f"\ntrace saved to {args.save} ({len(result.trace)} events)")
+    _store_run(
+        result, args, "facility", machine=machine, wall_time=wall,
+        findings=findings, oracle=report,
+    )
     return 0
 
 
@@ -308,6 +370,12 @@ def _cmd_experiments(args) -> int:
     from .experiments.__main__ import main as exp_main
 
     return exp_main(args.args)
+
+
+def _cmd_store(args) -> int:
+    from .store.__main__ import main as store_main
+
+    return store_main(args.args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,8 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("experiments", help="run the paper's figures")
-    p.add_argument("args", nargs="*")
+    p.add_argument("args", nargs=argparse.REMAINDER)
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser(
+        "store",
+        help="run-store verbs: ingest | report | regressions | query",
+    )
+    p.add_argument("args", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_store)
     return parser
 
 

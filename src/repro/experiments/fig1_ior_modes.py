@@ -130,8 +130,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [f"== Figure 1 (IOR modes), scale={scale} =="]
     lines.append(
         render(out.series["trace_diagram"], width=100, height=16,

@@ -133,8 +133,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [f"== Figure 4 (MADbench Franklin vs Jaguar), scale={scale} =="]
     lines.append(format_table("summary", [dict(out.summary)]))
     lines.append(format_table("verdicts", [dict(out.verdicts)]))

@@ -85,8 +85,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [f"== Figure 5 (Lustre patch), scale={scale} =="]
     rows = [
         {

@@ -277,8 +277,10 @@ def run(scale: str = "paper", seed: int = 3) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [
         f"== Replication x stall severity: the tail benefit, scale={scale} =="
     ]

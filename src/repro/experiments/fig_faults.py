@@ -157,8 +157,10 @@ def run(scale: str = "paper", seed: int = 2) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [f"== Transient-fault injection + recovery, scale={scale} =="]
     lines.append(format_table("runs", out.series["rows"]))
     lines.append(format_table("summary", [dict(out.summary)]))

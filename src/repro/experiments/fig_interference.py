@@ -242,8 +242,10 @@ def run(scale: str = "paper", seed: int = 11) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [
         f"== Cross-job interference: victim vs noisy neighbours, "
         f"scale={scale} =="

@@ -342,8 +342,10 @@ def run(scale: str = "paper", seed: int = 7) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [
         f"== Telemetry oracle: client diagnosis vs server truth, "
         f"scale={scale} =="

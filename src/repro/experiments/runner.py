@@ -14,10 +14,19 @@ paths.  EXPERIMENTS.md records the full-scale numbers.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "SCALES"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "SCALES",
+    "result_to_dict",
+    "output_path",
+    "save_result",
+]
 
 SCALES = ("paper", "small", "tiny")
 
@@ -42,6 +51,38 @@ class ExperimentResult:
 
     def all_verdicts_hold(self) -> bool:
         return all(self.verdicts.values())
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """The one JSON shape for experiment output.
+
+    Both loose ``EXP_*.json`` files and store ingestion consume this --
+    a single code path, so the two can never drift apart.
+    """
+    return {
+        "experiment": result.experiment,
+        "scale": result.scale,
+        "summary": dict(result.summary),
+        "series": dict(result.series),
+        "verdicts": dict(result.verdicts),
+        "notes": list(result.notes),
+        "all_verdicts_hold": result.all_verdicts_hold(),
+    }
+
+
+def output_path(directory: str, experiment: str, scale: str) -> str:
+    """Canonical loose-file location: ``DIR/EXP_<experiment>_<scale>.json``."""
+    return os.path.join(directory, f"EXP_{experiment}_{scale}.json")
+
+
+def save_result(result: ExperimentResult, directory: str) -> str:
+    """Write ``result`` to its canonical path; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = output_path(directory, result.experiment, result.scale)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def format_table(

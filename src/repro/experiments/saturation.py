@@ -89,8 +89,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     return out
 
 
-def main(scale: str = "paper") -> str:
-    out = run(scale)
+def main(
+    scale: str = "paper", result: ExperimentResult | None = None
+) -> str:
+    out = result if result is not None else run(scale)
     lines = [f"== Saturation sweep (Section V), scale={scale} =="]
     lines.append(format_table("aggregate rate vs writers", out.series["rows"]))
     lines.append(format_table("summary", [dict(out.summary)]))

@@ -1,0 +1,85 @@
+"""repro.store -- the persistent run store and fleet analytics.
+
+From events to ensembles, *across* runs: every simulation can persist
+one :class:`RunRecord` (config fingerprint, trace digest, findings,
+oracle verdicts, telemetry summary, timings) into a sqlite-backed
+:class:`RunStore`, and the analytics layer computes per-metric
+distributions, cross-run correlations, and regression flags over the
+accumulated fleet -- the IO500 "Treasure Trove" move applied to this
+repo's own history.
+
+Recording is pure observation: capture happens strictly after the
+simulation result is frozen, and the only wall-clock reads in the
+package live in :mod:`repro.store.clock`.
+
+Quickstart::
+
+    repro run-ior --ntasks 8 --store runstore.sqlite   # persist a run
+    python -m repro.store ingest benchmarks/results/   # backfill
+    python -m repro.store report                        # fleet view
+    python -m repro.store regressions                   # gate (exit 1)
+"""
+
+from .analytics import (
+    Correlation,
+    MetricSummary,
+    Regression,
+    find_regressions,
+    fleet_correlations,
+    fleet_distributions,
+    fleet_report,
+    timing_fence,
+)
+from .capture import (
+    machine_config_dict,
+    record_from_app_result,
+    record_from_experiment_dict,
+    trace_digest,
+)
+from .db import RunStore
+from .ingest import (
+    IngestStats,
+    ingest_paths,
+    records_from_bench_entries,
+    records_from_bench_json,
+    records_from_experiment_json,
+)
+from .schema import (
+    KINDS,
+    SCHEMA_VERSION,
+    RunRecord,
+    SchemaMigrationError,
+    StoreError,
+    canonical_json,
+    config_fingerprint,
+    derive_run_id,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KINDS",
+    "RunRecord",
+    "RunStore",
+    "StoreError",
+    "SchemaMigrationError",
+    "canonical_json",
+    "config_fingerprint",
+    "derive_run_id",
+    "trace_digest",
+    "machine_config_dict",
+    "record_from_app_result",
+    "record_from_experiment_dict",
+    "IngestStats",
+    "ingest_paths",
+    "records_from_bench_entries",
+    "records_from_bench_json",
+    "records_from_experiment_json",
+    "MetricSummary",
+    "Correlation",
+    "Regression",
+    "fleet_distributions",
+    "fleet_correlations",
+    "find_regressions",
+    "fleet_report",
+    "timing_fence",
+]

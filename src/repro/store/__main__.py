@@ -1,0 +1,177 @@
+"""Run-store command line.
+
+    python -m repro.store ingest PATH [PATH ...] [--db DB]
+    python -m repro.store report [--kind K] [--name N] [--db DB]
+    python -m repro.store regressions [--db DB] [--rel-tol F] [--iqr-k F]
+    python -m repro.store query [--kind K] [--name N] [--scale S]
+                                [--limit N] [--json] [--require N] [--db DB]
+
+Also reachable as ``repro store <verb> ...``.
+
+``ingest`` backfills loose JSON (``BENCH_*.json`` baselines,
+``EXP_*.json`` experiment results) into the store; ``report`` prints
+the fleet's per-metric distributions and cross-run correlations;
+``regressions`` exits 1 when any group's latest run departs from its
+stored history (timing fence or digest drift); ``query`` lists matching
+records (``--require N`` exits 2 below N matches -- the CI smoke hook).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analytics import (
+    DEFAULT_IQR_K,
+    DEFAULT_REL_TOL,
+    find_regressions,
+    fleet_report,
+)
+from .clock import utc_stamp
+from .db import RunStore
+from .ingest import ingest_paths
+from .schema import StoreError
+
+__all__ = ["main"]
+
+DEFAULT_DB = "runstore.sqlite"
+
+
+def _open(args: argparse.Namespace, *, create: bool) -> RunStore:
+    return RunStore(args.db, create=create)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    with _open(args, create=True) as store:
+        stats = ingest_paths(
+            store, args.paths,
+            created_at="" if args.no_stamp else utc_stamp(),
+        )
+        print(f"{stats.format()} -> {args.db} ({len(store)} total)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with _open(args, create=False) as store:
+        records = store.query(kind=args.kind, name=args.name)
+        print(fleet_report(records, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_regressions(args: argparse.Namespace) -> int:
+    with _open(args, create=False) as store:
+        records = store.query(kind=args.kind, name=args.name)
+        found = find_regressions(
+            records, rel_tol=args.rel_tol, iqr_k=args.iqr_k
+        )
+    if not found:
+        print(
+            f"no regressions: every group's latest run sits inside its "
+            f"history fence ({len(records)} records)"
+        )
+        return 0
+    print(f"{len(found)} regression(s):")
+    for regression in found:
+        print(f"  {regression.format()}")
+    return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _open(args, create=False) as store:
+        records = store.query(
+            kind=args.kind, name=args.name, scale=args.scale,
+            limit=args.limit,
+        )
+    if args.json:
+        for record in records:
+            print(record.to_json())
+    else:
+        for record in records:
+            wall = "" if record.wall_time is None else (
+                f"  wall {record.wall_time:.4f}s"
+            )
+            print(
+                f"{record.run_id[:12]}  {record.kind:10s} "
+                f"{record.name:40s} {record.scale:6s} "
+                f"{record.n_events:8d} ev{wall}"
+            )
+    print(f"{len(records)} record(s)", file=sys.stderr)
+    if args.require is not None and len(records) < args.require:
+        print(
+            f"query matched {len(records)} < required {args.require}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--db", default=DEFAULT_DB,
+            help=f"store path (default {DEFAULT_DB})",
+        )
+        p.add_argument("--kind", default=None,
+                       help="filter: run | experiment | benchmark")
+        p.add_argument("--name", default=None, help="filter: group name")
+
+    p = sub.add_parser("ingest", help="backfill loose JSON into the store")
+    p.add_argument("paths", nargs="+",
+                   help="BENCH_*.json / EXP_*.json files or directories")
+    p.add_argument("--db", default=DEFAULT_DB,
+                   help=f"store path (default {DEFAULT_DB})")
+    p.add_argument("--no-stamp", action="store_true",
+                   help="skip the wall-clock ingestion stamp "
+                        "(fully deterministic record ids)")
+    p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser("report", help="fleet distributions + correlations")
+    common(p)
+    p.add_argument("--max-rows", type=int, default=60,
+                   help="cap on distribution rows printed")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "regressions",
+        help="flag latest runs departing from stored history (exit 1)",
+    )
+    common(p)
+    p.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL,
+                   help="relative tolerance floor of the timing fence")
+    p.add_argument("--iqr-k", type=float, default=DEFAULT_IQR_K,
+                   help="IQRs above Q3 the timing fence sits")
+    p.set_defaults(fn=_cmd_regressions)
+
+    p = sub.add_parser("query", help="list matching records")
+    common(p)
+    p.add_argument("--scale", default=None, help="filter: scale")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="print canonical-JSON exports (one per line)")
+    p.add_argument("--require", type=int, default=None,
+                   help="exit 2 when fewer than N records match")
+    p.set_defaults(fn=_cmd_query)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    try:
+        result: int = args.fn(args)
+        return result
+    except StoreError as exc:
+        print(f"repro store: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,369 @@
+"""Fleet-scale statistics over the run store.
+
+The IO500 "Treasure Trove" move applied to this repo's own history:
+once every run is a row, the ensemble methodology the paper applies
+*within* a run (distributions, order statistics, modes) applies
+*across* runs.  Three passes:
+
+- :func:`fleet_distributions` -- per-(kind, name, metric) empirical
+  distributions: median, IQR, order statistics (via
+  :mod:`repro.ensembles`, the same machinery that analyses task-level
+  ensembles);
+- :func:`fleet_correlations` -- Pearson correlation between every pair
+  of metrics co-present across enough runs (configuration scalars ride
+  along as ``cfg_*`` metrics, so "stripe width vs. effective
+  bandwidth" and "fault seconds vs. retry count" emerge without
+  special cases);
+- :func:`find_regressions` -- flag the *latest* run of each group
+  whose timing departs from the stored history (robust IQR fence with
+  a relative-tolerance floor, so one-sample histories behave sanely),
+  or whose trace digest drifts from an earlier run with the *same*
+  config fingerprint (a determinism break: equal fingerprints must
+  replay byte-identically).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ensembles.distribution import EmpiricalDistribution
+from ..ensembles.order_stats import expected_max
+from ..experiments.runner import format_table
+from .schema import RunRecord
+
+__all__ = [
+    "MetricSummary",
+    "Correlation",
+    "Regression",
+    "fleet_distributions",
+    "fleet_correlations",
+    "find_regressions",
+    "fleet_report",
+    "REGRESSION_METRICS",
+]
+
+#: metrics the regression detector watches by default: host timing
+#: (benchmark stats and ``--store`` captures) and simulated wallclock
+REGRESSION_METRICS = ("wall_mean_s", "wall_s", "elapsed_s")
+
+#: relative-tolerance floor of the timing fence: with a one-sample
+#: history (IQR 0) a run is flagged only beyond median * (1 + this)
+DEFAULT_REL_TOL = 0.35
+
+#: how many IQRs above the third quartile the fence sits (Tukey's far
+#: fence; timing distributions are right-skewed)
+DEFAULT_IQR_K = 3.0
+
+#: order statistics of one pytest-benchmark timer: correlating them with
+#: each other is tautological (min <= median <= mean <= max of the same
+#: sample), so correlation pairs drawn entirely from this family are
+#: skipped
+_STATS_FAMILY = frozenset((
+    "wall_min_s", "wall_max_s", "wall_mean_s", "wall_median_s",
+    "wall_stddev_s", "wall_rounds",
+))
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """One metric's distribution across one run group."""
+
+    kind: str
+    name: str
+    metric: str
+    n: int
+    median: float
+    q1: float
+    q3: float
+    min: float
+    max: float
+    mean: float
+    #: expected max of n draws (the order-statistics tail the paper
+    #: uses for barrier phases, applied to the run ensemble)
+    expected_max: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """Pearson correlation between two metrics across runs."""
+
+    metric_a: str
+    metric_b: str
+    n: int
+    r: float
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged run: its value against the history's fence."""
+
+    run_id: str
+    kind: str
+    name: str
+    metric: str
+    value: float
+    history_n: int
+    median: float
+    threshold: float
+    reason: str
+
+    def format(self) -> str:
+        return (
+            f"[{self.kind}:{self.name}] {self.metric}: {self.reason} "
+            f"(value {self.value:.6g}, history n={self.history_n} "
+            f"median {self.median:.6g}, fence {self.threshold:.6g}) "
+            f"run {self.run_id[:12]}"
+        )
+
+
+def _group_key(record: RunRecord) -> Tuple[str, str]:
+    return (record.kind, record.name)
+
+
+def _grouped(
+    records: Sequence[RunRecord],
+) -> Dict[Tuple[str, str], List[RunRecord]]:
+    groups: Dict[Tuple[str, str], List[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(_group_key(record), []).append(record)
+    return groups
+
+
+def fleet_distributions(
+    records: Sequence[RunRecord],
+    metrics: Optional[Iterable[str]] = None,
+) -> List[MetricSummary]:
+    """Per-(kind, name, metric) distributions, sorted by group then
+    metric.  ``metrics`` filters to named metrics; default = all."""
+    wanted = None if metrics is None else set(metrics)
+    out: List[MetricSummary] = []
+    for (kind, name), group in sorted(_grouped(records).items()):
+        by_metric: Dict[str, List[float]] = {}
+        for record in group:
+            for metric, value in record.metrics.items():
+                by_metric.setdefault(metric, []).append(float(value))
+        for metric in sorted(by_metric):
+            if wanted is not None and metric not in wanted:
+                continue
+            values = by_metric[metric]
+            dist = EmpiricalDistribution(values)
+            out.append(MetricSummary(
+                kind=kind,
+                name=name,
+                metric=metric,
+                n=dist.n,
+                median=float(dist.quantile(0.5)),
+                q1=float(dist.quantile(0.25)),
+                q3=float(dist.quantile(0.75)),
+                min=float(dist.samples[0]),
+                max=float(dist.samples[-1]),
+                mean=float(dist.samples.mean()),
+                expected_max=expected_max(dist, max(dist.n, 1)),
+            ))
+    return out
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    n = len(xs)
+    if n < 2:
+        return None
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx <= 0.0 or syy <= 0.0:
+        return None  # a constant column has no correlation
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)
+
+
+def fleet_correlations(
+    records: Sequence[RunRecord],
+    *,
+    min_n: int = 3,
+    limit: Optional[int] = 10,
+) -> List[Correlation]:
+    """Cross-run Pearson correlations between metric pairs.
+
+    Every pair of metrics co-present in at least ``min_n`` records is
+    scored; ``cfg_*`` config metrics participate, so config-vs-outcome
+    relationships (stripe width vs. bandwidth, fault windows vs.
+    retries) surface alongside outcome-vs-outcome ones.  Sorted by
+    |r| descending; ties broken by name for determinism.
+    """
+    by_pair: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for record in records:
+        names = sorted(record.metrics)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if a in _STATS_FAMILY and b in _STATS_FAMILY:
+                    continue
+                by_pair.setdefault((a, b), []).append(
+                    (float(record.metrics[a]), float(record.metrics[b]))
+                )
+    out: List[Correlation] = []
+    for (a, b), pairs in sorted(by_pair.items()):
+        if len(pairs) < min_n:
+            continue
+        r = _pearson([p[0] for p in pairs], [p[1] for p in pairs])
+        if r is None:
+            continue
+        out.append(Correlation(metric_a=a, metric_b=b, n=len(pairs), r=r))
+    out.sort(key=lambda c: (-abs(c.r), c.metric_a, c.metric_b))
+    return out if limit is None else out[:limit]
+
+
+def timing_fence(
+    history: Sequence[float],
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    iqr_k: float = DEFAULT_IQR_K,
+) -> Tuple[float, float]:
+    """``(median, threshold)`` of a timing history.
+
+    The fence is ``max(q3 + iqr_k * IQR, median * (1 + rel_tol))``: the
+    IQR term adapts to genuinely noisy histories, the relative floor
+    keeps a one-sample history (IQR 0) from flagging normal run-to-run
+    noise -- the fix for the old single-point baseline comparison.
+    """
+    dist = EmpiricalDistribution(history)
+    median = float(dist.quantile(0.5))
+    q3 = float(dist.quantile(0.75))
+    iqr = q3 - float(dist.quantile(0.25))
+    return median, max(q3 + iqr_k * iqr, median * (1.0 + rel_tol))
+
+
+def find_regressions(
+    records: Sequence[RunRecord],
+    *,
+    metrics: Sequence[str] = REGRESSION_METRICS,
+    rel_tol: float = DEFAULT_REL_TOL,
+    iqr_k: float = DEFAULT_IQR_K,
+) -> List[Regression]:
+    """Flag latest-run departures from each group's stored history.
+
+    Records must be in insertion order (as :meth:`RunStore.query`
+    returns them); within each (kind, name) group the last record is
+    the candidate and everything before it is history.  A group with no
+    history (a single run) cannot regress.  Digest drift is checked
+    against *all* earlier records sharing the candidate's fingerprint.
+    """
+    out: List[Regression] = []
+    for (kind, name), group in sorted(_grouped(records).items()):
+        if len(group) < 2:
+            continue
+        *history, latest = group
+        for metric in metrics:
+            if metric not in latest.metrics:
+                continue
+            past = [
+                float(r.metrics[metric])
+                for r in history
+                if metric in r.metrics
+            ]
+            if not past:
+                continue
+            value = float(latest.metrics[metric])
+            median, threshold = timing_fence(
+                past, rel_tol=rel_tol, iqr_k=iqr_k
+            )
+            if value > threshold:
+                out.append(Regression(
+                    run_id=latest.run_id,
+                    kind=kind,
+                    name=name,
+                    metric=metric,
+                    value=value,
+                    history_n=len(past),
+                    median=median,
+                    threshold=threshold,
+                    reason="timing above the history fence",
+                ))
+        if latest.trace_digest:
+            earlier = [
+                r for r in history
+                if r.fingerprint == latest.fingerprint and r.trace_digest
+            ]
+            drifted = [
+                r for r in earlier
+                if r.trace_digest != latest.trace_digest
+            ]
+            if earlier and drifted:
+                out.append(Regression(
+                    run_id=latest.run_id,
+                    kind=kind,
+                    name=name,
+                    metric="trace_digest",
+                    value=0.0,
+                    history_n=len(earlier),
+                    median=0.0,
+                    threshold=0.0,
+                    reason=(
+                        "digest drift: same config fingerprint, "
+                        "different canonical event stream"
+                    ),
+                ))
+    return out
+
+
+def fleet_report(
+    records: Sequence[RunRecord],
+    *,
+    metrics: Optional[Iterable[str]] = None,
+    max_rows: int = 60,
+    min_corr_n: int = 3,
+) -> str:
+    """The ``repro store report`` text: distributions + correlations."""
+    if not records:
+        return "run store is empty; ingest some history first"
+    groups = _grouped(records)
+    lines = [
+        f"fleet: {len(records)} runs across {len(groups)} groups "
+        f"({', '.join(sorted({k for k, _ in groups}))})"
+    ]
+
+    summaries = fleet_distributions(records, metrics=metrics)
+    if metrics is None:
+        # default view: timing metrics first, then whatever fits
+        timing = [s for s in summaries if s.metric in REGRESSION_METRICS]
+        rest = [s for s in summaries if s.metric not in REGRESSION_METRICS]
+        summaries = (timing + rest)[:max_rows]
+    rows = [
+        {
+            "kind": s.kind,
+            "name": s.name,
+            "metric": s.metric,
+            "n": s.n,
+            "median": s.median,
+            "iqr": s.iqr,
+            "min": s.min,
+            "max": s.max,
+            "E[max]": s.expected_max,
+        }
+        for s in summaries
+    ]
+    lines.append(format_table("per-metric distributions", rows))
+
+    corr_rows = [
+        {
+            "metric A": c.metric_a,
+            "metric B": c.metric_b,
+            "n": c.n,
+            "pearson r": c.r,
+        }
+        for c in fleet_correlations(records, min_n=min_corr_n)
+    ]
+    if corr_rows:
+        lines.append(format_table("cross-run correlations", corr_rows))
+    else:
+        lines.append(
+            "cross-run correlations: not enough co-present metrics "
+            f"(need >= {min_corr_n} runs per pair)"
+        )
+    return "\n\n".join(lines)

@@ -1,0 +1,281 @@
+"""Capture a frozen simulation result as a :class:`RunRecord`.
+
+Recording is pure observation: every function here consumes an
+:class:`~repro.apps.harness.AppResult` (or
+:class:`~repro.iosys.scheduler.FacilityResult`, or
+:class:`~repro.experiments.runner.ExperimentResult`) *after* the
+simulation has completed and the result object is frozen, and never
+feeds anything back.  The trace digest uses the same canonical line
+format as the committed golden digests, so a stored run can be compared
+directly against ``tests/golden/*.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .schema import RunRecord, config_fingerprint, derive_run_id
+
+__all__ = [
+    "trace_digest",
+    "machine_config_dict",
+    "record_from_app_result",
+    "record_from_experiment_dict",
+]
+
+
+def trace_digest(trace: Any) -> str:
+    """sha256 of the canonical event stream.
+
+    One exact, order-preserving text line per event with ``float.hex``
+    timestamps -- byte-compatible with the golden-trace harness in
+    ``tests/test_golden_traces.py``, so a digest stored here equals the
+    committed golden sha256 for the same scenario.
+    """
+    lines: List[str] = []
+    for rank, op, path, fd, offset, size, t0, dur, phase, deg in zip(
+        trace.ranks, trace.ops, trace.paths, trace.fds, trace.offsets,
+        trace.sizes, trace.starts, trace.durations, trace.phases,
+        trace.degraded_flags,
+    ):
+        lines.append(
+            f"{int(rank)}|{op}|{path}|{int(fd)}|{int(offset)}|{int(size)}|"
+            f"{float(t0).hex()}|{float(dur).hex()}|{phase}|{int(deg)}"
+        )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def machine_config_dict(machine: Any) -> Dict[str, Any]:
+    """A machine config as a JSON-able dict (nested dataclasses --
+    fault schedules and their windows -- unfold recursively)."""
+    if dataclasses.is_dataclass(machine) and not isinstance(machine, type):
+        return dict(dataclasses.asdict(machine))
+    return dict(machine)
+
+
+#: machine scalars copied into the metric map (``cfg_`` prefix) so the
+#: fleet analytics can correlate configuration against outcome --
+#: e.g. stripe width vs. effective bandwidth
+_CONFIG_METRICS = (
+    "n_osts", "default_stripe_count", "stripe_size", "tasks_per_node",
+    "replica_count", "ec_k", "ec_m", "fs_bw", "fs_read_bw", "client_bw",
+)
+
+
+def _config_metrics(config: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key in _CONFIG_METRICS:
+        value = config.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"cfg_{key}"] = float(value)
+    return out
+
+
+def _fault_metrics(config: Mapping[str, Any]) -> Dict[str, float]:
+    """Fault-schedule shape as scalars (window count, total faulted
+    seconds) -- the regression/correlation axis for 'fault windows vs
+    retry counts'."""
+    faults = config.get("faults")
+    if not isinstance(faults, Mapping):
+        return {"cfg_fault_windows": 0.0, "cfg_fault_seconds": 0.0}
+    windows = faults.get("windows") or ()
+    total = 0.0
+    for w in windows:
+        if isinstance(w, Mapping):
+            total += float(w.get("t_end", 0.0)) - float(w.get("t_start", 0.0))
+    return {
+        "cfg_fault_windows": float(len(windows)),
+        "cfg_fault_seconds": total,
+    }
+
+
+def _telemetry_summary(timeline: Any) -> Dict[str, Any]:
+    """Compact per-device totals (not the full bucket matrix)."""
+    if timeline is None:
+        return {}
+    totals = timeline.device_totals()
+    summary: Dict[str, Any] = {
+        "span": float(timeline.span),
+        "n_buckets": int(timeline.n_buckets),
+    }
+    for fieldname in sorted(totals):
+        summary[fieldname] = [float(v) for v in totals[fieldname]]
+    return summary
+
+
+def _finding_dicts(findings: Any) -> Tuple[Dict[str, Any], ...]:
+    out: List[Dict[str, Any]] = []
+    for f in findings or ():
+        if dataclasses.is_dataclass(f) and not isinstance(f, type):
+            out.append(dict(dataclasses.asdict(f)))
+        elif isinstance(f, Mapping):
+            out.append(dict(f))
+        else:
+            out.append({"finding": str(f)})
+    return tuple(out)
+
+
+def _verdict_map(oracle: Any) -> Dict[str, Any]:
+    """An oracle report (or plain mapping) as a flat verdict map."""
+    if oracle is None:
+        return {}
+    if isinstance(oracle, Mapping):
+        return dict(oracle)
+    verdicts: Dict[str, Any] = {}
+    for i, v in enumerate(getattr(oracle, "verdicts", ())):
+        where = "pool" if v.device is None else f"ost{v.device}"
+        verdicts[f"{v.code}@{where}#{i}"] = v.verdict
+    return verdicts
+
+
+def record_from_app_result(
+    result: Any,
+    *,
+    name: str,
+    kind: str = "run",
+    scale: str = "",
+    seed: Optional[int] = None,
+    machine: Any = None,
+    findings: Any = (),
+    oracle: Any = None,
+    wall_time: Optional[float] = None,
+    created_at: str = "",
+    extra_config: Optional[Mapping[str, Any]] = None,
+    extra_metrics: Optional[Mapping[str, float]] = None,
+    notes: str = "",
+) -> RunRecord:
+    """Freeze one finished simulation into a :class:`RunRecord`.
+
+    Works for any result exposing the ``trace`` / ``elapsed`` /
+    ``telemetry`` surface (:class:`AppResult` and
+    :class:`FacilityResult` both do).  ``machine`` defaults to
+    ``result.machine`` when present.
+    """
+    machine = machine if machine is not None else getattr(
+        result, "machine", None
+    )
+    config: Dict[str, Any] = {"name": name, "kind": kind, "scale": scale}
+    if machine is not None:
+        config["machine"] = machine_config_dict(machine)
+    if seed is not None:
+        config["seed"] = int(seed)
+    ntasks = getattr(result, "ntasks", None)
+    if ntasks is not None:
+        config["ntasks"] = int(ntasks)
+    if extra_config:
+        config.update({str(k): v for k, v in extra_config.items()})
+
+    machine_cfg = config.get("machine", {})
+    metrics: Dict[str, float] = {"elapsed_s": float(result.elapsed)}
+    if ntasks is not None:
+        metrics["cfg_ntasks"] = float(ntasks)
+    metrics.update(_config_metrics(machine_cfg))
+    metrics.update(_fault_metrics(machine_cfg))
+    meta = getattr(result, "meta", None) or {}
+    for key in sorted(meta):
+        value = meta[key]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[str(key)] = float(value)
+    if result.elapsed > 0:
+        metrics["effective_bw_MBps"] = (
+            float(result.trace.total_bytes) / float(result.elapsed) / 2**20
+        )
+    if extra_metrics:
+        metrics.update(
+            {str(k): float(v) for k, v in extra_metrics.items()}
+        )
+    if wall_time is not None:
+        metrics["wall_s"] = float(wall_time)
+
+    digest = trace_digest(result.trace)
+    fingerprint = config_fingerprint(config)
+    payload = {
+        "kind": kind,
+        "name": name,
+        "scale": scale,
+        "fingerprint": fingerprint,
+        "trace_digest": digest,
+        "metrics": metrics,
+        "created_at": created_at,
+    }
+    return RunRecord(
+        run_id=derive_run_id(payload),
+        kind=kind,
+        name=name,
+        scale=scale,
+        fingerprint=fingerprint,
+        config=config,
+        trace_digest=digest,
+        n_events=len(result.trace),
+        total_bytes=int(result.trace.total_bytes),
+        elapsed=float(result.elapsed),
+        wall_time=wall_time,
+        created_at=created_at,
+        metrics=metrics,
+        findings=_finding_dicts(findings),
+        verdicts=_verdict_map(oracle),
+        telemetry=_telemetry_summary(getattr(result, "telemetry", None)),
+        notes=notes,
+    )
+
+
+def record_from_experiment_dict(
+    data: Mapping[str, Any],
+    *,
+    wall_time: Optional[float] = None,
+    created_at: str = "",
+) -> RunRecord:
+    """A RunRecord from one experiment-result dict.
+
+    The input is :func:`repro.experiments.runner.result_to_dict` output
+    -- the SAME dict the loose ``EXP_*.json`` files carry, so file
+    ingestion and in-process ``--store`` capture share one code path.
+    """
+    name = str(data["experiment"])
+    scale = str(data.get("scale", ""))
+    summary = {
+        str(k): float(v)
+        for k, v in dict(data.get("summary", {})).items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+        and float(v) == float(v)
+    }
+    verdicts = dict(data.get("verdicts", {}))
+    config: Dict[str, Any] = {
+        "name": name, "kind": "experiment", "scale": scale,
+    }
+    fingerprint = config_fingerprint(config)
+    metrics = dict(summary)
+    metrics["verdicts_held"] = float(
+        all(bool(v) for v in verdicts.values())
+    )
+    if wall_time is not None:
+        metrics["wall_s"] = float(wall_time)
+    payload = {
+        "kind": "experiment",
+        "name": name,
+        "scale": scale,
+        "fingerprint": fingerprint,
+        "metrics": metrics,
+        "created_at": created_at,
+    }
+    return RunRecord(
+        run_id=derive_run_id(payload),
+        kind="experiment",
+        name=name,
+        scale=scale,
+        fingerprint=fingerprint,
+        config=config,
+        trace_digest="",
+        n_events=0,
+        total_bytes=0,
+        elapsed=0.0,
+        wall_time=wall_time,
+        created_at=created_at,
+        metrics=metrics,
+        findings=(),
+        verdicts=verdicts,
+        telemetry={},
+        notes="; ".join(str(n) for n in data.get("notes", [])),
+    )

@@ -1,0 +1,31 @@
+"""Wall-clock access for the store layer -- and ONLY the store layer.
+
+Simulated code must never read the host clock (reprolint rule D001
+enforces that across ``src/``).  The run store is the one place a wall
+clock is meaningful: it stamps *when a record was ingested* and *how
+long the host took to simulate*, both of which describe the measurement
+process rather than the simulation, and both of which are written
+strictly after the :class:`~repro.apps.harness.AppResult` is frozen.
+
+Keeping every wall-clock read behind these two helpers (in a module the
+lint config explicitly allowlists) means a ``time.time()`` anywhere
+else in the package is still a determinism violation.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["utc_stamp", "host_seconds"]
+
+
+def utc_stamp() -> str:
+    """ISO-8601 UTC timestamp of "now" (second resolution)."""
+    stamp = datetime.now(timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def host_seconds() -> float:
+    """A monotonic host-time reading for elapsed-wall-time measurement."""
+    return time.perf_counter()

@@ -1,0 +1,246 @@
+"""The run-store record schema: one row per simulation run.
+
+The paper's thesis is that insight comes from ensembles, not events; the
+repo applied that only *within* a run until now.  A :class:`RunRecord`
+is the unit of the *cross-run* ensemble: a frozen, canonically
+serialisable description of one simulation -- what was configured
+(machine/layout/faults/tenants, hashed into ``fingerprint``), what
+happened (trace digest, event/byte totals, simulated ``elapsed``),
+what the analysis said (findings, oracle verdicts), what the servers
+saw (telemetry summary), and how long the host took (``wall_time``,
+the only wall-clock quantity in the system, stamped by
+:mod:`repro.store.clock` strictly *after* the simulation is frozen).
+
+Serialisation is canonical JSON (sorted keys, no whitespace,
+``allow_nan=False``) so that persist -> query -> export round-trips
+byte-exactly; the Hypothesis suite pins that property.
+
+``SCHEMA_VERSION`` names the record layout.  A store created by a
+different code version refuses to open with a
+:class:`SchemaMigrationError` rather than silently misreading rows --
+the policy is explicit migration (re-ingest the source JSON into a
+fresh store), never in-place guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KINDS",
+    "StoreError",
+    "SchemaMigrationError",
+    "RunRecord",
+    "canonical_json",
+    "config_fingerprint",
+    "derive_run_id",
+]
+
+#: bump on any change to the RunRecord fields or their encoding
+SCHEMA_VERSION = 1
+
+#: what a record describes: an ad-hoc CLI run, an experiment driver run,
+#: or one benchmark measurement
+KINDS = ("run", "experiment", "benchmark")
+
+
+class StoreError(Exception):
+    """Base class for run-store failures."""
+
+
+class SchemaMigrationError(StoreError):
+    """The on-disk store speaks a different schema version.
+
+    Raised on open, before any row is read, so stale stores fail loudly
+    with the migration recipe instead of returning misdecoded records.
+    """
+
+
+def _jsonable(obj: Any) -> Any:
+    """Recursively coerce ``obj`` into plain JSON-able structures.
+
+    Dataclasses become dicts, tuples become lists, and non-string dict
+    keys are stringified (JSON objects only carry string keys; doing it
+    explicitly keeps the canonical form independent of json.dumps'
+    coercion rules).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        # sqlite normalises -0.0 to +0.0; the canonical form must agree
+        # or persist -> export would not be byte-exact
+        return obj + 0.0
+    return str(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """The one serialisation every store component uses.
+
+    Sorted keys and fixed separators make equal values byte-equal;
+    ``allow_nan=False`` rejects NaN/Inf (sqlite would silently turn NaN
+    into NULL and break round-tripping).
+    """
+    return json.dumps(
+        _jsonable(obj), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """Content hash of a run's configuration.
+
+    Two runs with equal fingerprints were configured identically
+    (machine, layout, faults, tenants, workload parameters, seed), so a
+    deterministic simulator must give them identical trace digests --
+    the invariant the regression detector's digest-drift check leans on.
+    """
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()
+
+
+def derive_run_id(payload: Mapping[str, Any]) -> str:
+    """Content-derived record id: re-ingesting the same source is a
+    no-op because the id (and thus the uniqueness constraint) is a pure
+    function of the record's content."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _require_finite(name: str, value: float) -> None:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted simulation run (see the module docstring)."""
+
+    #: unique content-derived id (:func:`derive_run_id`)
+    run_id: str
+    #: one of :data:`KINDS`
+    kind: str
+    #: experiment / benchmark / command name (the cross-run group key)
+    name: str
+    #: configuration hash (:func:`config_fingerprint`)
+    fingerprint: str
+    #: scale the run executed at ("" when the notion does not apply)
+    scale: str = ""
+    #: the fingerprinted configuration itself, JSON-able
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: sha256 of the canonical event stream ("" when no trace exists,
+    #: e.g. backfilled benchmark timings)
+    trace_digest: str = ""
+    n_events: int = 0
+    total_bytes: int = 0
+    #: simulated wallclock of the run (seconds of sim time)
+    elapsed: float = 0.0
+    #: host seconds the simulation took (None when unmeasured)
+    wall_time: Optional[float] = None
+    #: ISO-8601 UTC ingestion stamp ("" when unstamped, e.g. in
+    #: deterministic tests)
+    created_at: str = ""
+    #: flat metric map -- summary scalars, bench stats, config scalars
+    #: (``cfg_*``); the raw material of the fleet analytics
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: client-side diagnosis findings (list of JSON-able dicts)
+    findings: Tuple[Dict[str, Any], ...] = ()
+    #: shape/oracle verdict map (name -> "CONFIRMED" / bool / ...)
+    verdicts: Dict[str, Any] = field(default_factory=dict)
+    #: server-side telemetry summary (device totals etc.)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown record kind {self.kind!r}; use one of {KINDS}"
+            )
+        if not self.run_id:
+            raise ValueError("run_id must be non-empty")
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if self.n_events < 0 or self.total_bytes < 0:
+            raise ValueError("n_events/total_bytes must be >= 0")
+        _require_finite("elapsed", float(self.elapsed))
+        if self.wall_time is not None:
+            _require_finite("wall_time", float(self.wall_time))
+            if self.wall_time < 0:
+                raise ValueError("wall_time must be >= 0")
+        for key, value in self.metrics.items():
+            _require_finite(f"metrics[{key!r}]", float(value))
+
+    # -- canonical serialisation ------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as a plain dict (the export format)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "name": self.name,
+            "scale": self.scale,
+            "fingerprint": self.fingerprint,
+            "config": _jsonable(self.config),
+            "trace_digest": self.trace_digest,
+            "n_events": self.n_events,
+            "total_bytes": self.total_bytes,
+            "elapsed": self.elapsed,
+            "wall_time": self.wall_time,
+            "created_at": self.created_at,
+            "metrics": _jsonable(self.metrics),
+            "findings": _jsonable(list(self.findings)),
+            "verdicts": _jsonable(self.verdicts),
+            "telemetry": _jsonable(self.telemetry),
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON export; the byte-exact round-trip format."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaMigrationError(
+                f"record carries schema_version {version!r} but this code "
+                f"speaks v{SCHEMA_VERSION}; re-export from the original "
+                f"source (BENCH_*.json / EXP_*.json) and re-ingest into a "
+                f"fresh store"
+            )
+        metrics = {
+            str(k): float(v) for k, v in dict(data.get("metrics", {})).items()
+        }
+        wall = data.get("wall_time")
+        return cls(
+            run_id=str(data["run_id"]),
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            scale=str(data.get("scale", "")),
+            fingerprint=str(data["fingerprint"]),
+            config=dict(data.get("config", {})),
+            trace_digest=str(data.get("trace_digest", "")),
+            n_events=int(data.get("n_events", 0)),
+            total_bytes=int(data.get("total_bytes", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            wall_time=None if wall is None else float(wall),
+            created_at=str(data.get("created_at", "")),
+            metrics=metrics,
+            findings=tuple(dict(f) for f in data.get("findings", [])),
+            verdicts=dict(data.get("verdicts", {})),
+            telemetry=dict(data.get("telemetry", {})),
+            notes=str(data.get("notes", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,239 @@
+"""Run-store core: persistence, ingestion, analytics, golden neutrality.
+
+Four families:
+
+- *store semantics*: put/get/query round-trips, idempotent inserts,
+  filters, insertion order;
+- *ingestion*: the committed ``benchmarks/results/BENCH_*.json``
+  baselines backfill cleanly and idempotently, and live benchmark
+  entries flow through the same code path;
+- *fleet analytics*: distributions, config-vs-outcome correlations,
+  and the regression fence (clean history passes, a synthetically
+  slowed run and a digest drift are flagged);
+- *golden neutrality*: capturing a run into the store is pure
+  observation -- the stored trace digest equals the committed golden
+  sha256, and a captured run's digest matches an uncaptured one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.store import (
+    RunRecord,
+    RunStore,
+    derive_run_id,
+    find_regressions,
+    fleet_correlations,
+    fleet_distributions,
+    fleet_report,
+    ingest_paths,
+    record_from_app_result,
+    records_from_bench_entries,
+    timing_fence,
+)
+from tests.test_golden_traces import GOLDEN_DIR, SCENARIOS, digest
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def _record(name="ior", kind="run", *, wall=None, metric=1.0,
+            fingerprint="fp0", trace_digest="", created_at="",
+            extra_metrics=None):
+    metrics = {"elapsed_s": metric}
+    if wall is not None:
+        metrics["wall_s"] = float(wall)
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    payload = {
+        "kind": kind, "name": name, "fingerprint": fingerprint,
+        "metrics": metrics, "trace_digest": trace_digest,
+        "created_at": created_at,
+    }
+    return RunRecord(
+        run_id=derive_run_id(payload),
+        kind=kind,
+        name=name,
+        fingerprint=fingerprint,
+        trace_digest=trace_digest,
+        elapsed=metric,
+        wall_time=wall,
+        created_at=created_at,
+        metrics=metrics,
+    )
+
+
+# -- store semantics -----------------------------------------------------------
+
+def test_put_get_roundtrip(tmp_path):
+    record = _record(wall=0.5)
+    with RunStore(tmp_path / "s.sqlite") as store:
+        assert store.put(record)
+        assert store.get(record.run_id) == record
+
+
+def test_put_is_idempotent(tmp_path):
+    record = _record()
+    with RunStore(tmp_path / "s.sqlite") as store:
+        assert store.put(record)
+        assert not store.put(record)
+        assert len(store) == 1
+
+
+def test_reopen_preserves_rows(tmp_path):
+    path = tmp_path / "s.sqlite"
+    record = _record()
+    with RunStore(path) as store:
+        store.put(record)
+    with RunStore(path, create=False) as store:
+        assert store.get(record.run_id) == record
+
+
+def test_query_filters_and_order(tmp_path):
+    a = _record("ior", metric=1.0)
+    b = _record("ior", metric=2.0)
+    c = _record("gcrm", metric=3.0)
+    with RunStore(":memory:") as store:
+        for r in (a, b, c):
+            store.put(r)
+        assert store.query(name="ior") == [a, b]
+        assert store.query(name="gcrm") == [c]
+        assert store.query(kind="experiment") == []
+        assert store.query(limit=1) == [a]
+        assert [r.run_id for r in store] == [a.run_id, b.run_id, c.run_id]
+        assert store.groups() == [("run", "gcrm", 1), ("run", "ior", 2)]
+
+
+def test_missing_store_refuses_without_create(tmp_path):
+    from repro.store import StoreError
+
+    with pytest.raises(StoreError):
+        RunStore(tmp_path / "absent.sqlite", create=False)
+
+
+# -- ingestion -----------------------------------------------------------------
+
+def test_backfill_committed_baselines(tmp_path):
+    with RunStore(":memory:") as store:
+        stats = ingest_paths(store, [RESULTS_DIR])
+        assert stats.files == len(list(RESULTS_DIR.glob("BENCH_*.json")))
+        assert stats.inserted == len(store) > 0
+        assert stats.duplicates == 0
+        # idempotent: a second pass inserts nothing
+        again = ingest_paths(store, [RESULTS_DIR])
+        assert again.inserted == 0
+        assert again.duplicates == stats.inserted
+
+
+def test_live_and_backfill_share_one_code_path(tmp_path):
+    """conftest's live capture and the file ingester produce identical
+    records for identical entries -- they call the same function."""
+    path = sorted(RESULTS_DIR.glob("BENCH_*.json"))[0]
+    entries = json.loads(path.read_text())
+    name = path.stem[len("BENCH_"):]
+    live = records_from_bench_entries(name, entries)
+    from repro.store import records_from_bench_json
+
+    from_file = records_from_bench_json(path)
+    assert [r.run_id for r in live] == [r.run_id for r in from_file]
+
+
+# -- fleet analytics -----------------------------------------------------------
+
+def test_fleet_distributions_over_backfill():
+    with RunStore(":memory:") as store:
+        ingest_paths(store, [RESULTS_DIR])
+        summaries = fleet_distributions(store.query())
+    walls = [s for s in summaries if s.metric == "wall_mean_s"]
+    assert walls, "backfilled baselines must yield timing distributions"
+    for s in walls:
+        assert s.min <= s.q1 <= s.median <= s.q3 <= s.max
+        assert s.expected_max >= s.median
+
+
+def test_correlations_include_config_vs_outcome():
+    """cfg_* metrics participate, so a config-vs-outcome correlation
+    exists in a fleet whose config varies."""
+    records = [
+        _record("sweep", fingerprint=f"fp{i}",
+                extra_metrics={"cfg_n_osts": float(2 ** i),
+                               "effective_bw_MBps": 100.0 * 2 ** i})
+        for i in range(4)
+    ]
+    corr = fleet_correlations(records, min_n=3)
+    pairs = {(c.metric_a, c.metric_b): c.r for c in corr}
+    assert pairs[("cfg_n_osts", "effective_bw_MBps")] == pytest.approx(1.0)
+
+
+def test_timing_fence_one_sample_history():
+    median, threshold = timing_fence([1.0])
+    assert median == 1.0
+    assert threshold == pytest.approx(1.35)  # rel-tol floor, not IQR
+
+
+def test_regressions_clean_history_passes():
+    records = [_record("b", wall=1.0 + 0.01 * i, metric=1.0 + 0.01 * i)
+               for i in range(5)]
+    assert find_regressions(records) == []
+
+
+def test_regressions_flag_slowed_run():
+    history = [_record("b", wall=1.0 + 0.01 * i) for i in range(5)]
+    slowed = _record("b", wall=5.0)
+    found = find_regressions(history + [slowed])
+    assert [r.metric for r in found] == ["wall_s"]
+    assert found[0].run_id == slowed.run_id
+    assert found[0].value == 5.0
+    assert "fence" in found[0].format()
+
+
+def test_regressions_flag_digest_drift():
+    a = _record("b", fingerprint="same", trace_digest="d1", created_at="t1")
+    b = _record("b", fingerprint="same", trace_digest="d2", created_at="t2")
+    found = find_regressions([a, b])
+    assert any(r.metric == "trace_digest" for r in found)
+    # identical digests for the same fingerprint: no drift
+    c = _record("b", fingerprint="same", trace_digest="d1", created_at="t3")
+    assert not any(
+        r.metric == "trace_digest" for r in find_regressions([a, c])
+    )
+
+
+def test_fleet_report_prints_distributions_and_correlations():
+    with RunStore(":memory:") as store:
+        ingest_paths(store, [RESULTS_DIR])
+        text = fleet_report(store.query())
+    assert "per-metric distributions" in text
+    assert "cross-run correlations" in text
+    assert "wall_mean_s" in text
+    assert fleet_report([]).startswith("run store is empty")
+
+
+# -- golden neutrality ---------------------------------------------------------
+
+def test_stored_digest_equals_committed_golden():
+    """The store's canonical trace digest is byte-compatible with the
+    golden harness: capturing a golden scenario stores exactly the
+    committed sha256."""
+    result = SCENARIOS["slow_ost_stall"]()
+    record = record_from_app_result(result, name="slow_ost_stall")
+    committed = json.loads(
+        (GOLDEN_DIR / "slow_ost_stall.json").read_text()
+    )
+    assert record.trace_digest == committed["sha256"]
+    assert record.n_events == committed["n_events"]
+    assert record.total_bytes == committed["total_bytes"]
+    with RunStore(":memory:") as store:
+        store.put(record)
+        assert store.get(record.run_id).trace_digest == committed["sha256"]
+
+
+def test_capture_is_pure_observation():
+    """Recording a run does not perturb it: a captured run and an
+    uncaptured rerun of the same scenario digest identically."""
+    captured = SCENARIOS["ior_write"]()
+    record_from_app_result(captured, name="ior_write")
+    assert digest(captured) == digest(SCENARIOS["ior_write"]())
