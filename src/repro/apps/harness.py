@@ -72,6 +72,7 @@ class SimJob:
         erasure: Optional["tuple[int, int]"] = None,
         telemetry: Optional[bool] = None,
         sanitize: Optional[bool] = None,
+        heal: Optional[bool] = None,
     ):
         # fault-injection conveniences: the schedule, the retry switch and
         # the placement knobs live on the machine config, but a job
@@ -91,6 +92,12 @@ class SimJob:
             overrides["telemetry"] = telemetry
         if sanitize is not None:
             overrides["sanitize"] = sanitize
+        if heal is not None:
+            overrides["heal"] = heal
+            if heal:
+                # healing watches the telemetry stream; turn the
+                # collector on unless the caller pinned it explicitly
+                overrides.setdefault("telemetry", True)
         if overrides:
             machine = machine.with_overrides(**overrides)
         self.machine = machine
@@ -131,6 +138,14 @@ class SimJob:
         per_rank = self.world.run(rank_fn, *args, **kwargs)
         if self.engine.sanitize:
             self.engine.assert_race_free()
+        meta: Dict[str, Any] = {
+            "retries": self.iosys.total_retries(),
+            "failovers": self.iosys.total_failovers(),
+            "reconstructions": self.iosys.total_reconstructions(),
+        }
+        if self.iosys.health is not None:
+            # conditional keys: heal-off records stay byte-identical
+            meta.update(self.iosys.health.counters())
         return AppResult(
             trace=self.collector.trace,
             elapsed=self.world.elapsed,
@@ -139,10 +154,6 @@ class SimJob:
             per_rank=per_rank,
             iosys=self.iosys,
             collector=self.collector,
-            meta={
-                "retries": self.iosys.total_retries(),
-                "failovers": self.iosys.total_failovers(),
-                "reconstructions": self.iosys.total_reconstructions(),
-            },
+            meta=meta,
             telemetry=self.iosys.telemetry_timeline(),
         )

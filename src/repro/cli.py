@@ -81,6 +81,7 @@ def _machine(name: str, args=None) -> MachineConfig:
         try:
             sched = FaultSchedule.from_specs(args.fault)
             sched.validate_devices(machine.n_osts)
+            sched.check_device_overlaps()
             overrides["faults"] = sched
         except ValueError as exc:
             raise SystemExit(f"bad --fault spec: {exc}")
@@ -88,6 +89,10 @@ def _machine(name: str, args=None) -> MachineConfig:
         overrides["client_retry"] = True
     if getattr(args, "telemetry", False):
         overrides["telemetry"] = True
+    if getattr(args, "heal", False):
+        overrides["heal"] = True
+        # healing watches the telemetry stream; --heal implies --telemetry
+        overrides.setdefault("telemetry", True)
     if getattr(args, "sanitize", False):
         overrides["sanitize"] = True
     replicate = getattr(args, "replicate", None)
@@ -151,6 +156,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="record server-side per-OST telemetry during the "
                         "run and print its summary (ground truth for the "
                         "ensemble diagnosis oracle)")
+    p.add_argument("--heal", action="store_true",
+                   help="run the self-healing control plane: quarantine "
+                        "sick OSTs, rebuild their extents onto healthy "
+                        "devices, and shed load under saturation "
+                        "(implies --telemetry; every control action is "
+                        "graded against the injected fault schedule)")
     p.add_argument("--sanitize", action="store_true",
                    help="run the engine's sim-race sanitizer: fail the run "
                         "if any same-timestamp event ordering is decided "
@@ -215,18 +226,43 @@ def _store_run(result, args, name: str, *, machine=None, wall_time=None,
     print(f"\nrun {status}: {record.run_id[:12]} -> {args.store}")
 
 
-def _finish(result, ntasks: int, args) -> None:
+def _healing_summary(result):
+    """Print the self-healing control plane's counters and actions and
+    grade every action against the run's telemetry; returns the oracle
+    report (None when healing was off or never acted)."""
+    health = getattr(getattr(result, "iosys", None), "health", None)
+    if health is None:
+        return None
+    print()
+    print("self-healing: " + "  ".join(
+        f"{k[len('heal_'):]}={int(v)}" for k, v in health.counters().items()
+    ))
+    actions = health.actions()
+    if not actions or result.telemetry is None:
+        return None
+    from .ensembles.oracle import verify_healing
+
+    for act in actions:
+        print(f"  {act}")
+    report = verify_healing(actions, result.telemetry)
+    print(report.format())
+    return report
+
+
+def _finish(result, ntasks: int, args):
     print(format_report(build_report(result.trace, ntasks, result.elapsed)))
     print(f"\nsimulated job time: {result.elapsed:.1f} s")
     if getattr(result, "telemetry", None) is not None:
         print()
         print(result.telemetry.format_summary())
+    heal_report = _healing_summary(result)
     if args.analyze:
         print()
         print(format_analysis(analyze(result.trace, nranks=ntasks)))
     if args.save:
         save_trace(result.trace, args.save)
         print(f"\ntrace saved to {args.save} ({len(result.trace)} events)")
+    return heal_report
 
 
 def _cmd_run_ior(args) -> int:
@@ -243,10 +279,10 @@ def _cmd_run_ior(args) -> int:
         seed=args.seed,
     )
     result, wall = _run_app(run_ior, cfg, args)
-    _finish(result, cfg.ntasks, args)
+    heal_report = _finish(result, cfg.ntasks, args)
     print(f"IOR data rate: {result.meta['data_rate'] / MiB:.0f} MB/s "
           f"(fair share {cfg.fair_share_rate / MiB:.1f} MB/s per task)")
-    _store_run(result, args, "ior", wall_time=wall)
+    _store_run(result, args, "ior", wall_time=wall, oracle=heal_report)
     return 0
 
 
@@ -262,9 +298,9 @@ def _cmd_run_madbench(args) -> int:
         seed=args.seed,
     )
     result, wall = _run_app(run_madbench, cfg, args)
-    _finish(result, cfg.ntasks, args)
+    heal_report = _finish(result, cfg.ntasks, args)
     print(f"degraded reads: {result.meta['degraded_reads']}")
-    _store_run(result, args, "madbench", wall_time=wall)
+    _store_run(result, args, "madbench", wall_time=wall, oracle=heal_report)
     return 0
 
 
@@ -280,10 +316,10 @@ def _cmd_run_gcrm(args) -> int:
         seed=args.seed,
     )
     result, wall = _run_app(run_gcrm, cfg, args)
-    _finish(result, result.ntasks, args)
+    heal_report = _finish(result, result.ntasks, args)
     print(f"sustained write rate: "
           f"{result.meta['sustained_rate'] / (1024 * MiB):.2f} GB/s")
-    _store_run(result, args, "gcrm", wall_time=wall)
+    _store_run(result, args, "gcrm", wall_time=wall, oracle=heal_report)
     return 0
 
 
@@ -328,6 +364,7 @@ def _cmd_run_facility(args) -> int:
     if result.telemetry is not None:
         print()
         print(result.telemetry.format_summary())
+    heal_report = _healing_summary(result)
     findings = []
     report = None
     if len(jobs) >= 2 and result.telemetry is not None:
@@ -355,7 +392,7 @@ def _cmd_run_facility(args) -> int:
         print(f"\ntrace saved to {args.save} ({len(result.trace)} events)")
     _store_run(
         result, args, "facility", machine=machine, wall_time=wall,
-        findings=findings, oracle=report,
+        findings=findings, oracle=report if report is not None else heal_report,
     )
     return 0
 

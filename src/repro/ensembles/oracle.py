@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..iosys.faults import DEGRADE, STALL
+from ..iosys.health import QUARANTINE, READMIT, REBUILD, SHED, HealAction
 from ..iosys.telemetry import TelemetryTimeline
 from .diagnose import Finding
 from .locate import MaskedFault, OstSuspect, RebuildPressure, TransientFault
@@ -44,6 +45,7 @@ __all__ = [
     "OracleReport",
     "verify_findings",
     "verify_finding",
+    "verify_healing",
     "verify_interference",
     "verify_slow_osts",
     "verify_transients",
@@ -66,6 +68,11 @@ _TRUTH_KINDS: Dict[str, Tuple[str, ...]] = {
     "failover-masked-fault": (STALL,),
     "ec-degraded": (STALL,),
     "rebuild-pressure": (STALL,),
+    # self-healing control actions: a quarantine (and the rebuild it
+    # triggers) is "true" when the device really was stalled or degraded
+    # inside the action's window
+    "heal-quarantine": (STALL, DEGRADE),
+    "heal-rebuild": (STALL, DEGRADE),
 }
 
 
@@ -390,6 +397,172 @@ def verify_rebuilds(
 ) -> OracleReport:
     """Score :func:`~repro.ensembles.locate.find_rebuild_pressure`."""
     return _verify_located("rebuild-pressure", pressure, timeline, slack)
+
+
+# -- self-healing control actions ------------------------------------------------
+
+def _readmit_verdict(
+    timeline: TelemetryTimeline, act: HealAction
+) -> OracleVerdict:
+    """A readmission is correct iff the device really answers at the
+    readmit instant: no stall/degrade window active on it (exact check
+    against the half-open injected windows; no slack -- readmitting one
+    tick inside a window is a real control error)."""
+    d = act.device
+    t = act.t_start
+    active = [
+        w for w in timeline.fault_windows
+        if w.device == d and w.kind in (STALL, DEGRADE) and w.active_at(t)
+    ]
+    if not active:
+        return OracleVerdict(
+            code="heal-readmit",
+            verdict=CONFIRMED,
+            device=d,
+            truth_devices=(),
+            t_start=t,
+            t_end=t,
+            device_match=True,
+            window_match=True,
+            overlap=0.0,
+            detail="device answers at readmission (no active fault window)",
+        )
+    w = active[0]
+    return OracleVerdict(
+        code="heal-readmit",
+        verdict=CONTRADICTED,
+        device=d,
+        truth_devices=(d,) if d is not None else (),
+        t_start=t,
+        t_end=t,
+        device_match=True,
+        window_match=False,
+        overlap=w.t_end - t,
+        detail=(
+            f"readmitted mid-{w.kind} window "
+            f"[{w.t_start:.1f}s, {w.t_end:.1f}s)"
+        ),
+    )
+
+
+def _shed_verdict(
+    timeline: TelemetryTimeline, act: HealAction, slack: float
+) -> OracleVerdict:
+    """A shed (facility backpressure) is correct when the claimed
+    saturation is corroborated by server truth: an injected fault window
+    overlapping the shed (congestion with a scheduled root cause) or the
+    server's own queues reaching the claimed threshold in the window."""
+    t0 = act.t_start
+    t1 = act.t_end if act.t_end is not None else timeline.span
+    lo, hi = max(t0 - slack, 0.0), t1 + slack
+    threshold = float(act.info.get("threshold", 0.0))
+    fault = any(
+        w.t_start < hi and lo < w.t_end for w in timeline.fault_windows
+    )
+    depth_truth = 0.0
+    dt = timeline.dt
+    mq = timeline.mds.get("mds_queue")
+    if mq is not None and len(mq):
+        b0 = max(int(lo // dt), 0)
+        b1 = min(int(hi // dt), len(mq) - 1)
+        if b1 >= b0:
+            depth_truth = float(mq[b0:b1 + 1].max())
+    qd = timeline.ost.get("queue_depth")
+    if qd is not None and qd.size:
+        b0 = max(int(lo // dt), 0)
+        b1 = min(int(hi // dt), qd.shape[0] - 1)
+        if b1 >= b0:
+            depth_truth = max(depth_truth, float(qd[b0:b1 + 1].max()))
+    queues = depth_truth >= threshold > 0.0
+    if fault or queues:
+        why = []
+        if fault:
+            why.append("a fault window overlaps the shed")
+        if queues:
+            why.append(
+                f"server queues peaked at {depth_truth:.0f} "
+                f">= threshold {threshold:.0f}"
+            )
+        return OracleVerdict(
+            code="heal-shed",
+            verdict=CONFIRMED,
+            device=None,
+            truth_devices=(),
+            t_start=t0,
+            t_end=t1,
+            device_match=None,
+            window_match=True,
+            overlap=t1 - t0,
+            detail="; ".join(why),
+        )
+    return OracleVerdict(
+        code="heal-shed",
+        verdict=CONTRADICTED,
+        device=None,
+        truth_devices=(),
+        t_start=t0,
+        t_end=t1,
+        device_match=None,
+        window_match=False,
+        overlap=0.0,
+        detail=(
+            f"no fault overlaps the shed and server queues peaked at "
+            f"{depth_truth:.0f} < threshold {threshold:.0f}"
+        ),
+    )
+
+
+def verify_healing(
+    actions: Sequence[HealAction],
+    timeline: TelemetryTimeline,
+    slack: float = WINDOW_SLACK,
+) -> OracleReport:
+    """Score every self-healing control action against server truth.
+
+    - ``quarantine`` / ``rebuild``: the device must really have been
+      stalled or degraded inside the action's (slackened) window --
+      quarantining a healthy device is CONTRADICTED;
+    - ``readmit``: the device must answer at the readmission instant
+      (no slack: readmitting into a live window is a control error);
+    - ``shed``: the claimed saturation must be corroborated -- an
+      overlapping injected fault window, or server-side queue depths
+      reaching the claimed threshold.
+
+    An action still open at end of run (``t_end is None``) is judged on
+    ``[t_start, timeline.span]``.
+    """
+    verdicts: List[OracleVerdict] = []
+    for act in actions:
+        t0 = act.t_start
+        t1 = act.t_end if act.t_end is not None else timeline.span
+        if act.kind in (QUARANTINE, REBUILD):
+            code = (
+                "heal-quarantine" if act.kind == QUARANTINE
+                else "heal-rebuild"
+            )
+            verdicts.append(
+                _judge(timeline, code, act.device, t0, t1, slack)
+            )
+        elif act.kind == READMIT:
+            verdicts.append(_readmit_verdict(timeline, act))
+        elif act.kind == SHED:
+            verdicts.append(_shed_verdict(timeline, act, slack))
+        else:
+            verdicts.append(
+                OracleVerdict(
+                    code=f"heal-{act.kind}",
+                    verdict=UNVERIFIED,
+                    device=act.device,
+                    truth_devices=(),
+                    t_start=t0,
+                    t_end=t1,
+                    device_match=None,
+                    window_match=None,
+                    overlap=0.0,
+                    detail="unknown healing action kind",
+                )
+            )
+    return _report(verdicts)
 
 
 # -- cross-tenant interference attributions -------------------------------------

@@ -17,6 +17,7 @@ from . import (
     fig_failover,
     fig_faults,
     fig_interference,
+    fig_selfheal,
     fig_telemetry,
     saturation,
 )
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "erasure": fig_erasure,
     "telemetry": fig_telemetry,
     "interference": fig_interference,
+    "selfheal": fig_selfheal,
 }
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "fig_failover",
     "fig_faults",
     "fig_interference",
+    "fig_selfheal",
     "fig_telemetry",
     "saturation",
 ]

@@ -262,6 +262,16 @@ class LustreClient:
         #: client-side device health memory: OST -> time until which this
         #: node distrusts it (set by a timeout, cleared by the next probe)
         self._avoid: Dict[int, float] = {}
+        #: facility-wide health monitor (repro.iosys.health), set by
+        #: IoSystem when MachineConfig.heal is on; None otherwise.  Its
+        #: quarantine set augments _avoid: one client's detection steers
+        #: every client, without each node paying its own timeout.
+        self.health = None
+
+    def _sick(self, d: int) -> bool:
+        """Device currently quarantined by the facility control plane."""
+        h = self.health
+        return h is not None and h.is_quarantined(d)
 
     # -- discipline -------------------------------------------------------
     def _resample_discipline(self) -> None:
@@ -378,7 +388,7 @@ class LustreClient:
         for r in range(rep.replica_count):
             lay = rep.replica(r)
             if any(
-                self._avoid.get(d, 0.0) > now
+                self._avoid.get(d, 0.0) > now or self._sick(d)
                 for d in lay.bytes_per_ost(offset, nbytes)
             ):
                 avoided.append(r)
@@ -589,7 +599,7 @@ class LustreClient:
         sched = self.config.faults
         healthy, avoided, fresh = [], [], []
         for d in sorted(ec.data_layout.bytes_per_ost(offset, nbytes)):
-            if self._avoid.get(d, 0.0) > now:
+            if self._avoid.get(d, 0.0) > now or self._sick(d):
                 avoided.append(d)
             elif sched is not None and sched.stall_end(now, (d,)) is not None:
                 fresh.append(d)
@@ -630,7 +640,7 @@ class LustreClient:
         bad = set(lost)
         for g in ec.groups_for(offset, nbytes):
             for d in ec.group_osts(g):
-                if self._avoid.get(d, 0.0) > now:
+                if self._avoid.get(d, 0.0) > now or self._sick(d):
                     bad.add(d)
                 elif sched is not None and sched.stall_end(now, (d,)) is not None:
                     bad.add(d)
@@ -715,6 +725,10 @@ class LustreClient:
         """
         cfg = self.config
         t0 = self.engine.now
+        if self.health is not None:
+            throttle = self.health.throttle_delay(self.tenant)
+            if throttle > 0.0:
+                yield self.engine.timeout(throttle)
         if self.arbiter.begin(file.file_id, self.node_id):
             self._resample_discipline()
         # queue-depth sampling over the op's full placement footprint
@@ -824,6 +838,8 @@ class LustreClient:
             self.arbiter.end(file.file_id, self.node_id)
             if tel_devs:
                 tel.op_end(tel_devs, self.tenant)
+            if self.health is not None and tel_devs:
+                self.health.observe_op(tel_devs, self.engine.now - t0)
         self.writes += 1
         return IoResult(
             duration=self.engine.now - t0,
@@ -863,6 +879,10 @@ class LustreClient:
         """Generator: full read path.  Returns :class:`IoResult`."""
         cfg = self.config
         t0 = self.engine.now
+        if self.health is not None:
+            throttle = self.health.throttle_delay(self.tenant)
+            if throttle > 0.0:
+                yield self.engine.timeout(throttle)
         if self.arbiter.begin(file.file_id, self.node_id):
             self._resample_discipline()
         tel = self.osts.telemetry
@@ -965,6 +985,8 @@ class LustreClient:
             self.arbiter.end(file.file_id, self.node_id)
             if tel_devs:
                 tel.op_end(tel_devs, self.tenant)
+            if self.health is not None and tel_devs:
+                self.health.observe_op(tel_devs, self.engine.now - t0)
         self.reads += 1
         return IoResult(
             duration=self.engine.now - t0,

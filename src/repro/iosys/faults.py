@@ -33,7 +33,16 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["FaultWindow", "FaultSchedule", "DEGRADE", "STALL", "MDS_HICCUP", "TAIL_BURST"]
+__all__ = [
+    "FaultWindow",
+    "FaultSchedule",
+    "DEGRADE",
+    "STALL",
+    "MDS_HICCUP",
+    "TAIL_BURST",
+    "oss_domain_stall",
+    "flapping_device",
+]
 
 DEGRADE = "degrade"
 STALL = "stall"
@@ -274,3 +283,72 @@ class FaultSchedule:
             min(w.t_start for w in self.windows),
             max(w.t_end for w in self.windows),
         )
+
+    def check_device_overlaps(self) -> None:
+        """Reject *cross-kind* overlapping windows on one device.
+
+        The constructor already forbids overlap per ``(kind, device)``;
+        a degrade and a stall can still legally coexist on one OST (the
+        schedule semantics are well-defined: the stall wins).  Operator-
+        facing entry points (the ``--fault`` CLI) call this to refuse
+        such schedules anyway -- they are almost always typos, and the
+        degrade window is dead weight under the stall.
+        """
+        per_device: dict = {}
+        for w in self.windows:
+            if w.device is None:
+                continue
+            for prev in per_device.get(w.device, []):
+                if w.overlaps(prev) and w.kind != prev.kind:
+                    raise ValueError(
+                        f"windows on device {w.device} must not overlap "
+                        f"across kinds: {prev.kind!r} "
+                        f"[{prev.t_start}, {prev.t_end}) vs {w.kind!r} "
+                        f"[{w.t_start}, {w.t_end})"
+                    )
+            per_device.setdefault(w.device, []).append(w)
+
+
+def oss_domain_stall(
+    devices: Iterable[int], t_start: float, t_end: float
+) -> Tuple[FaultWindow, ...]:
+    """A correlated failure domain: one OSS / rack window takes its whole
+    OST group down together.  Returns one identical-span STALL window per
+    device (legal: the per-``(kind, device)`` non-overlap invariant only
+    constrains windows on the *same* device), composable with
+    :meth:`FaultSchedule.of`::
+
+        FaultSchedule.of(*oss_domain_stall(range(4, 8), 0.5, 1.5))
+    """
+    devs = sorted(set(int(d) for d in devices))
+    if not devs:
+        raise ValueError("failure domain needs at least one device")
+    return tuple(
+        FaultWindow(STALL, t_start, t_end, device=d) for d in devs
+    )
+
+
+def flapping_device(
+    device: int,
+    t_start: float,
+    up: float,
+    down: float,
+    cycles: int,
+) -> Tuple[FaultWindow, ...]:
+    """A flapping device: it stalls for ``up`` seconds, recovers for
+    ``down`` seconds, and re-fails, ``cycles`` times over.  The windows
+    are disjoint in time so they compose legally on one device::
+
+        FaultSchedule.of(*flapping_device(3, t_start=0.3, up=0.3,
+                                          down=0.6, cycles=3))
+    """
+    if cycles < 1:
+        raise ValueError("flapping needs at least one cycle")
+    if up <= 0.0 or down <= 0.0:
+        raise ValueError("flapping up/down phases must be positive")
+    period = up + down
+    return tuple(
+        FaultWindow(STALL, t_start + i * period, t_start + i * period + up,
+                    device=int(device))
+        for i in range(int(cycles))
+    )

@@ -169,6 +169,46 @@ class MachineConfig:
     #: suite re-runs with this on to pin that).
     sanitize: bool = False
 
+    # -- self-healing control plane -----------------------------------------------
+    #: master switch for the online health monitor: per-OST failure
+    #: detectors (EWMA latency + decayed retry score) driving quarantine,
+    #: throttled rebuild, and facility backpressure during the run.
+    #: Requires ``telemetry=True`` (the detectors watch the collector's
+    #: stream).  Quarantine needs *retry evidence* -- latency drift alone
+    #: never triggers an action -- so a fault-free run with healing on is
+    #: byte-identical to the same run with it off (golden-pinned).
+    heal: bool = False
+    #: detector score weight of the decayed per-device retry rate
+    heal_retry_weight: float = 1.0
+    #: detector score weight of the relative latency-EWMA excess
+    heal_latency_weight: float = 0.5
+    #: EWMA smoothing for per-device op latencies (0 < alpha <= 1)
+    heal_latency_alpha: float = 0.3
+    #: e-folding time (s) of the decayed per-device retry counter
+    heal_retry_tau: float = 4.0
+    #: detector score at or above which a device is quarantined
+    heal_score_threshold: float = 1.0
+    #: after a readmit, re-quarantine of the same device is suppressed
+    #: for this long (flap damping)
+    heal_flap_damping: float = 1.0
+    #: minimum time a quarantined device stays out before the monitor
+    #: probes it for readmission
+    heal_quarantine_hold: float = 4.0
+    #: bandwidth cap (bytes/s) of the background rebuild copying a
+    #: quarantined device's extents onto healthy peers; keeps recovery
+    #: traffic from starving foreground I/O
+    heal_rebuild_bw: float = 50.0 * MiB
+    #: aggregate in-flight-op depth at or above which the facility sheds
+    #: load (admission deferral + per-tenant RPC throttling)
+    heal_backpressure_depth: int = 24
+    #: hysteresis: backpressure clears once aggregate depth falls to this
+    #: fraction of the threshold
+    heal_backpressure_exit: float = 0.5
+    #: RPC delay injected into the dominant tenant while saturated
+    heal_throttle_delay: float = 5e-3
+    #: how often a deferred admission re-checks the saturation flag
+    heal_admit_recheck: float = 0.25
+
     # -- service-time variability ----------------------------------------------
     #: lognormal sigma on bulk-transfer service time
     noise_sigma: float = 0.12
@@ -258,6 +298,27 @@ class MachineConfig:
             raise ValueError("erasure-coding costs must be >= 0")
         if self.telemetry_dt <= 0:
             raise ValueError("telemetry_dt must be positive")
+        if self.heal:
+            if not self.telemetry:
+                raise ValueError(
+                    "heal=True requires telemetry=True: the health "
+                    "monitor watches the telemetry collector's stream"
+                )
+            if not (0.0 < self.heal_latency_alpha <= 1.0):
+                raise ValueError("heal_latency_alpha must be in (0, 1]")
+            for knob in ("heal_retry_tau", "heal_score_threshold",
+                         "heal_quarantine_hold", "heal_rebuild_bw",
+                         "heal_throttle_delay", "heal_admit_recheck"):
+                if getattr(self, knob) <= 0:
+                    raise ValueError(f"{knob} must be positive")
+            if self.heal_retry_weight < 0 or self.heal_latency_weight < 0:
+                raise ValueError("heal detector weights must be >= 0")
+            if self.heal_flap_damping < 0:
+                raise ValueError("heal_flap_damping must be >= 0")
+            if self.heal_backpressure_depth < 1:
+                raise ValueError("heal_backpressure_depth must be >= 1")
+            if not (0.0 < self.heal_backpressure_exit <= 1.0):
+                raise ValueError("heal_backpressure_exit must be in (0, 1]")
 
     def retry_wait(self, attempt: int) -> float:
         """How long the client waits before re-driving a lost RPC.

@@ -37,6 +37,9 @@ class MetadataServer:
         self.ops = {name: 0 for name in self.OP_COST}
         #: optional TelemetryCollector (set by IoSystem when telemetry is on)
         self.telemetry = None
+        #: optional HealthMonitor (set by IoSystem when heal is on); under
+        #: saturation the dominant tenant's metadata RPCs are throttled
+        self.health = None
         if config.mds_latency > 0:
             self._server: Server | None = Server(
                 engine,
@@ -68,6 +71,12 @@ class MetadataServer:
         # the server is busy with lock recovery / failover heartbeats
         if self.config.faults is not None:
             factor *= self.config.faults.mds_factor(self.engine.now)
+        if self.health is not None:
+            # facility backpressure: the dominant tenant's metadata RPCs
+            # are delayed by the throttle while the machine is saturated
+            throttle = self.health.throttle_delay(tenant)
+            if throttle > 0.0:
+                factor += throttle / self.config.mds_latency
         return self._server.request(0.0, factor=factor)
 
     @property

@@ -244,6 +244,18 @@ class OstPool:
         if self.telemetry is not None and extents:
             self.telemetry.record_stale(extents)
 
+    def account_rebuild(self, src: int, nbytes: float) -> None:
+        """Recovery traffic issued by the self-healing control plane:
+        ``nbytes`` of a quarantined device's extents re-read from healthy
+        ``src`` during a throttled rebuild.  Lands in ``recon_reads`` (the
+        rebuild-pressure ledger), never in ``bytes_read``, so payload
+        accounting stays conserved -- the same contract as EC
+        reconstruction fan-out."""
+        self.recon_reads[src] += nbytes
+        self.recon_bytes += nbytes
+        if self.telemetry is not None:
+            self.telemetry.record_recon(src, nbytes)
+
     # -- fault injection ------------------------------------------------------
     def slow_factor(
         self,

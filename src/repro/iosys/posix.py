@@ -20,6 +20,7 @@ from ..sim.engine import Engine
 from ..sim.rng import RngStreams
 from .client import FsArbiter, IoResult, LustreClient
 from .erasure import ErasureCodedLayout
+from .health import HealthMonitor
 from .locks import ExtentLockTracker
 from .machine import MachineConfig
 from .mds import MetadataServer
@@ -96,6 +97,15 @@ class IoSystem:
             self.telemetry = TelemetryCollector(config, clock=engine)
             self.osts.telemetry = self.telemetry
             self.mds.telemetry = self.telemetry
+        #: self-healing control plane (None when config.heal is off);
+        #: watches the collector's forwarded hooks and quarantines /
+        #: rebuilds / sheds during the run (see repro.iosys.health)
+        self.health: Optional[HealthMonitor] = None
+        if config.heal:
+            self.health = HealthMonitor(
+                engine, config, self.osts, self.mds, self.telemetry
+            )
+            self.mds.health = self.health
         self._writeback_delay = writeback_delay
         self._clients: Dict[int, LustreClient] = {}
         self._files: Dict[str, SimFile] = {}
@@ -148,6 +158,7 @@ class IoSystem:
                 writeback_delay=self._writeback_delay,
                 tenant=self._node_tenant.get(node, 0),
             )
+            client.health = self.health
             self._clients[node] = client
         return client
 
@@ -194,11 +205,18 @@ class IoSystem:
         stripe_count = self._stripe_overrides.get(
             path, self.config.default_stripe_count
         )
+        start_ost = self._next_file_id % self.config.n_osts
+        if self.health is not None:
+            # drain new extents: steer fresh placements off quarantined
+            # devices (identity when nothing is quarantined)
+            start_ost = self.health.placement_start(
+                start_ost, stripe_count, self.config.n_osts
+            )
         layout = StripeLayout(
             stripe_size=self.config.stripe_size,
             stripe_count=stripe_count,
             n_osts=self.config.n_osts,
-            start_ost=self._next_file_id % self.config.n_osts,
+            start_ost=start_ost,
         )
         replica_count = self._replica_overrides.get(
             path, self.config.replica_count
@@ -264,6 +282,11 @@ class IoSystem:
         """Erasure-coded reads served by survivor reconstruction, summed
         over every node's client (0 without erasure coding or faults)."""
         return sum(c.reconstruction_events for c in self._clients.values())
+
+    def healing_actions(self):
+        """Control actions the health monitor took this run, in order
+        (empty tuple with healing off -- safe to call unconditionally)."""
+        return self.health.actions() if self.health is not None else ()
 
     def telemetry_timeline(self) -> Optional[TelemetryTimeline]:
         """The frozen server-side timeline, or None with telemetry off.

@@ -602,8 +602,21 @@ class Facility:
         return procs
 
     def _admit(self, idx: int):
-        """Admission process for a job arriving after boot."""
+        """Admission process for a job arriving after boot.
+
+        With the self-healing control plane on, admission defers while
+        the machine is saturated (facility backpressure): the job waits
+        in the queue, rechecking every ``heal_admit_recheck`` seconds,
+        and is admitted gracefully once pressure drains below the
+        hysteresis exit."""
         yield self.engine.timeout_until(self.jobs[idx].arrival)
+        health = self.iosys.health
+        if health is not None and health.saturated:
+            health.note_deferred()
+            while health.saturated:
+                yield self.engine.timeout(
+                    self.machine.heal_admit_recheck
+                )
         procs = self._spawn(idx)
         yield self.engine.all_of(procs)
         return None

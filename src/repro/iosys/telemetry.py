@@ -176,6 +176,12 @@ class TelemetryCollector:
         self._tdepth: Dict[Tuple[int, int], int] = {}
         #: admitted-job residency ledger
         self._jobs: list = []
+        #: optional live observer (the self-healing control plane,
+        #: :class:`repro.iosys.health.HealthMonitor`): receives a forwarded
+        #: copy of the detector-relevant hooks.  A plain attribute keeps the
+        #: hot-path cost to one load + is-None test; forwarding lives inside
+        #: the hook bodies, so :meth:`freeze` seals it along with recording.
+        self._observer = None
 
     # -- tenancy ------------------------------------------------------------
     def register_tenant(self, tenant: int, name: str) -> None:
@@ -306,6 +312,10 @@ class TelemetryCollector:
     # -- client hooks -------------------------------------------------------
     def record_retries(self, devices: Iterable[int], n: int = 1) -> None:
         """Client RPC resends, attributed to the stalled devices."""
+        obs = self._observer
+        if obs is not None:
+            devices = tuple(devices)
+            obs.on_retries(devices, n)
         for ost in devices:
             self._add("retries", ost, n)
 
@@ -329,6 +339,9 @@ class TelemetryCollector:
                 tkey = (b, ost, tenant)
                 if td > tq.get(tkey, 0.0):
                     tq[tkey] = float(td)
+        obs = self._observer
+        if obs is not None:
+            obs.on_op_begin(devices, tenant)
 
     def op_end(self, devices: Iterable[int], tenant: int = 0) -> None:
         depth = self._depth
@@ -338,6 +351,9 @@ class TelemetryCollector:
             if track:
                 dkey = (ost, tenant)
                 self._tdepth[dkey] = self._tdepth.get(dkey, 0) - 1
+        obs = self._observer
+        if obs is not None:
+            obs.on_op_end(devices, tenant)
 
     # -- MDS hooks ----------------------------------------------------------
     def record_mds(self, queue_depth: int, tenant: int = 0) -> None:
@@ -350,6 +366,9 @@ class TelemetryCollector:
         if self._track:
             tkey = (b, tenant)
             self._tmds_ops[tkey] = self._tmds_ops.get(tkey, 0.0) + 1.0
+        obs = self._observer
+        if obs is not None:
+            obs.on_mds(queue_depth, tenant)
 
     # -- freeze (write-after-freeze detection) ------------------------------
     #: every mutating hook; freeze() swaps each for a raising stub

@@ -30,6 +30,13 @@ from .schema import (
 
 __all__ = ["RunStore"]
 
+#: how long sqlite itself waits on a writer's lock before raising
+#: ``SQLITE_BUSY`` (milliseconds)
+_BUSY_TIMEOUT_MS = 5_000
+#: belt-and-braces retries on top of the busy timeout: ``put`` is
+#: idempotent on ``run_id``, so re-issuing the insert is always safe
+_BUSY_RETRIES = 5
+
 _CREATE = """
 CREATE TABLE IF NOT EXISTS store_meta (
     key   TEXT PRIMARY KEY,
@@ -72,8 +79,13 @@ class RunStore:
         exists = self.path == ":memory:" or Path(self.path).exists()
         if not exists and not create:
             raise StoreError(f"no run store at {self.path!r}")
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=_BUSY_TIMEOUT_MS / 1000.0
+        )
         self._conn.execute("PRAGMA foreign_keys = ON")
+        # concurrent writers (e.g. a fleet of --store runs sharing one
+        # DB) block instead of failing fast on the write lock
+        self._conn.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
         if exists and self.path != ":memory:":
             self._check_version()
         self._conn.executescript(_CREATE)
@@ -118,7 +130,32 @@ class RunStore:
     # -- writes ------------------------------------------------------------
     def put(self, record: RunRecord) -> bool:
         """Insert one record; returns False when ``run_id`` was already
-        stored (idempotent re-ingest)."""
+        stored (idempotent re-ingest).
+
+        Safe under concurrent writers: sqlite blocks up to the busy
+        timeout, and on a still-contended ``SQLITE_BUSY``/``database is
+        locked`` the insert is retried -- idempotence on ``run_id``
+        makes the retry harmless even if the first attempt committed."""
+        last_exc: Optional[sqlite3.OperationalError] = None
+        for _ in range(_BUSY_RETRIES):
+            try:
+                return self._put_once(record)
+            except sqlite3.OperationalError as exc:
+                msg = str(exc).lower()
+                if "locked" not in msg and "busy" not in msg:
+                    raise
+                last_exc = exc
+                try:
+                    self._conn.rollback()
+                except sqlite3.OperationalError:
+                    pass
+        assert last_exc is not None
+        raise StoreError(
+            f"store {self.path!r} stayed locked through "
+            f"{_BUSY_RETRIES} attempts ({last_exc})"
+        ) from last_exc
+
+    def _put_once(self, record: RunRecord) -> bool:
         cur = self._conn.execute(
             """
             INSERT OR IGNORE INTO runs (

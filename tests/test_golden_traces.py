@@ -406,6 +406,28 @@ def test_telemetry_scenarios_bracket_the_fault():
     assert htot["bytes_in"].sum() > 0
 
 
+def test_healing_preserves_healthy_golden():
+    """Running the self-healing control plane on a healthy pool must
+    not perturb the simulation: with no faults the monitor observes but
+    never acts, so the heal-on run is byte-identical to the committed
+    ``telemetry_healthy`` golden (pinning the escape hatch: heal-on is
+    free until something is actually sick)."""
+    machine = MachineConfig.testbox(
+        n_osts=16,
+        fs_bw=2048 * MiB,
+        discipline_weights={4: 1.0},
+    ).with_overrides(client_retry=True, telemetry=True)
+    job = SimJob(machine, 8, seed=13, placement="packed", heal=True)
+    got = digest(job.run(_shared_writer, 60, "/scratch/golden.dat"))
+    golden = json.loads(
+        (GOLDEN_DIR / "telemetry_healthy.json").read_text()
+    )
+    for key in ("sha256", "n_events", "total_bytes", "elapsed_hex",
+                "telemetry_sha256"):
+        assert got[key] == golden[key], key
+    assert job.iosys.healing_actions() == ()
+
+
 def test_back_to_back_runs_are_byte_identical():
     """Two fresh runs of the same scenario in one process must produce
     byte-identical canonical streams (no hidden global state)."""
