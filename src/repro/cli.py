@@ -11,6 +11,8 @@
                                  [--victim NAME] [--machine NAME] ...
     python -m repro analyze      TRACE [--nranks N]
     python -m repro experiments  [paper|small|tiny] [fig1 ...]
+    python -m repro sweep        [paper|small|tiny] [fig1 ...]
+                                 [--workers N] [--save DIR] [--store DB]
     python -m repro store        ingest|report|regressions|query ...
 
 ``run-*`` commands simulate a workload, print the IPM report, and can
@@ -415,6 +417,12 @@ def _cmd_store(args) -> int:
     return store_main(args.args)
 
 
+def _cmd_sweep(args) -> int:
+    from .sweep.__main__ import main as sweep_main
+
+    return sweep_main(args.args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -487,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("args", nargs=argparse.REMAINDER)
     p.set_defaults(fn=_cmd_store)
+
+    p = sub.add_parser(
+        "sweep",
+        help="shard fixed-seed experiment runs across worker processes",
+    )
+    p.add_argument("args", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_sweep)
     return parser
 
 

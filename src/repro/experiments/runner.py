@@ -14,6 +14,7 @@ paths.  EXPERIMENTS.md records the full-scale numbers.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
@@ -53,19 +54,56 @@ class ExperimentResult:
         return all(self.verdicts.values())
 
 
+def _json_value(obj: Any) -> Any:
+    """Coerce one result value into plain, deterministic JSON structures.
+
+    Experiment modules stash rich analysis objects in ``series`` --
+    numpy arrays, histogram dataclasses, ``EmpiricalDistribution`` --
+    for their own ``main()`` rendering.  The JSON boundary must flatten
+    them: a ``str(obj)`` fallback would embed memory addresses and make
+    byte-identical runs produce differing files.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _json_value(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _json_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_value(v) for v in obj]
+    if isinstance(obj, (str, bool, int)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return _json_value(tolist())
+    samples = getattr(obj, "samples", None)
+    if samples is not None:  # EmpiricalDistribution and kin
+        return {"samples": _json_value(samples)}
+    # last resort: the type name alone -- deterministic, address-free
+    return type(obj).__name__
+
+
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     """The one JSON shape for experiment output.
 
     Both loose ``EXP_*.json`` files and store ingestion consume this --
-    a single code path, so the two can never drift apart.
+    a single code path, so the two can never drift apart.  Everything is
+    coerced to plain JSON structures (see :func:`_json_value`), so the
+    dict serialises as-is and is safe to ship across process boundaries
+    (the sweep runner pickles it through a queue).
     """
     return {
         "experiment": result.experiment,
         "scale": result.scale,
-        "summary": dict(result.summary),
-        "series": dict(result.series),
-        "verdicts": dict(result.verdicts),
-        "notes": list(result.notes),
+        "summary": _json_value(dict(result.summary)),
+        "series": _json_value(dict(result.series)),
+        # declared Dict[str, bool], but experiments routinely store
+        # numpy bools -- normalise at the boundary
+        "verdicts": {str(k): bool(v) for k, v in result.verdicts.items()},
+        "notes": [str(n) for n in result.notes],
         "all_verdicts_hold": result.all_verdicts_hold(),
     }
 

@@ -29,6 +29,13 @@ class MpiError(SimulationError):
     """Mismatched or invalid MPI usage in the simulated program."""
 
 
+def _deliver(ev: Event, value: Any) -> None:
+    """Succeed a message/collective event -- the completion the engine
+    schedules after the modelled transfer time (pooled on the fast path,
+    so this must stay a plain module function, not a closure)."""
+    ev.succeed(value)
+
+
 @dataclass
 class Interconnect:
     """Alpha-beta communication cost model.
@@ -135,8 +142,7 @@ class Communicator:
         for r, ev in enumerate(state.events):
             result = results[r]
             if cost > 0:
-                tmo = self.engine.timeout(cost)
-                tmo.add_callback(lambda _e, e=ev, v=result: e.succeed(v))
+                self.engine._complete_later(cost, _deliver, ev, result)
             else:
                 ev.succeed(result)
 
@@ -346,8 +352,7 @@ class RankComm:
         if waiting:
             ev = waiting.popleft()
             if cost > 0:
-                tmo = comm.engine.timeout(cost)
-                tmo.add_callback(lambda _e, e=ev, v=value: e.succeed(v))
+                comm.engine._complete_later(cost, _deliver, ev, value)
             else:
                 ev.succeed(value)
         else:

@@ -14,14 +14,23 @@ stack:
   byte rate (used for OSTs and the MDS).
 - :class:`Lock` / :class:`Semaphore` -- mutual exclusion with FIFO waiters
   (used for extent locks and rank-0 metadata serialisation).
+
+All resources carry ``__slots__``: a paper-scale run keeps tens of
+thousands of service completions in flight, and slotted instances cut
+both the per-object memory and the attribute-access cost on the engine
+hot path.  Service completions are scheduled through
+``Engine._complete_later`` -- a pooled, closure-free completion on the
+fast path and a plain ``Timeout`` + callback on the reference path,
+dispatch-order identical (see ``tests/test_fastpath_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from heapq import heappush
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from .engine import Engine, Event, SimulationError
+from .engine import Engine, Event, SimulationError, _Completion
 
 __all__ = [
     "FifoQueueMixin",
@@ -38,6 +47,8 @@ class FifoQueueMixin:
     pending requests in ``_queue`` and its in-flight count in ``_busy``
     (:class:`SlotChannel`, :class:`Server`, and the metadata server that
     wraps one)."""
+
+    __slots__ = ()
 
     _queue: Deque[Tuple[Any, ...]]
     _busy: int
@@ -62,6 +73,11 @@ class SlotChannel(FifoQueueMixin):
     value applies to transfers that start afterwards.
     """
 
+    __slots__ = (
+        "engine", "bandwidth", "slots", "_busy", "_queue",
+        "bytes_transferred", "_finish_cb",
+    )
+
     def __init__(self, engine: Engine, bandwidth: float, slots: int = 1) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -74,6 +90,9 @@ class SlotChannel(FifoQueueMixin):
         self._queue: Deque[Tuple[float, Event, float]] = deque()
         #: total bytes accepted (diagnostics / conservation tests)
         self.bytes_transferred = 0.0
+        #: bound once -- _drain schedules one completion per service
+        #: interval and a fresh bound method per call shows up in profiles
+        self._finish_cb = self._finish
 
     def set_slots(self, slots: int) -> None:
         if slots < 1:
@@ -96,27 +115,65 @@ class SlotChannel(FifoQueueMixin):
         return done
 
     def _drain(self) -> None:
+        engine = self.engine
         while self._queue and self._busy < self.slots:
             nbytes, done, factor = self._queue.popleft()
             self._busy += 1
             rate = self.bandwidth / self.slots
             duration = (nbytes / rate) * factor
             self.bytes_transferred += nbytes
-            tmo = self.engine.timeout(duration)
-            if self.engine.sanitize:
+            if engine._fast and duration >= 0.0:
+                # Engine._complete_later's fast path, inlined: drains run
+                # once per service interval, so the call frame shows up
+                # in profiles (see that method for the slow/checked form)
+                pool = engine._comp_pool
+                completion = pool.pop() if pool else _Completion(engine)
+                completion._fn = self._finish_cb
+                completion._a = done
+                completion._b = duration
+                now = engine.now
+                at = now + duration
+                if at > now:
+                    # reprolint: disable=D004 (bucket-cache key; exact identity is the contract)
+                    if at == engine._last_at:
+                        engine._last_bucket.append(completion)
+                    else:
+                        buckets = engine._buckets
+                        bucket = buckets.get(at)
+                        if bucket is None:
+                            heappush(engine._times, at)
+                            buckets[at] = bucket = deque((completion,))
+                        else:
+                            bucket.append(completion)
+                        engine._last_at = at
+                        engine._last_bucket = bucket
+                else:
+                    engine._tail.append(completion)
+            else:
+                completion = engine._complete_later(
+                    duration, self._finish_cb, done, duration
+                )
+            if engine.sanitize:
                 # Commutative: a completion frees a slot; which of two
                 # same-instant completions frees first cannot change which
                 # queued transfer starts next (the FIFO queue decides) nor
                 # its duration (computed here at drain time).
-                self.engine.annotate(
-                    tmo, f"slotchannel@{id(self):x}",
+                engine.annotate(
+                    completion, f"slotchannel@{id(self):x}",
                     op="complete", exclusive=False,
                 )
-            tmo.add_callback(lambda ev, d=done, dur=duration: self._finish(d, dur))
 
     def _finish(self, done: Event, duration: float) -> None:
         self._busy -= 1
-        done.succeed(duration)
+        # inlined done.succeed(duration) for the common case: one service
+        # completion per transfer makes this a hot trigger site
+        engine = self.engine
+        if engine._fast and not done._triggered:
+            done._triggered = True
+            done._value = duration
+            engine._tail.append(done)
+        else:
+            done.succeed(duration)
         self._drain()
 
 
@@ -127,6 +184,11 @@ class SharedPipe:
     recomputed whenever a transfer joins or completes.  Exact for a single
     bottleneck link, and O(active) work per change.
     """
+
+    __slots__ = (
+        "engine", "capacity", "_active", "_next_id", "_last_update",
+        "_completion_timer", "_timer_token", "bytes_transferred",
+    )
 
     def __init__(self, engine: Engine, capacity: float) -> None:
         if capacity <= 0:
@@ -184,18 +246,18 @@ class SharedPipe:
         min_remaining = min(e[0] for e in self._active.values())
         delay = max(min_remaining, 0.0) / rate
         token = self._timer_token
-        tmo = self.engine.timeout(delay)
-        if self.engine.sanitize:
+        engine = self.engine
+        timer = engine._complete_later(delay, self._on_timer, token, None)
+        if engine.sanitize:
             # Commutative: stale timers are no-ops (token guard) and the
             # live timer's settle/complete logic reads only engine.now,
             # never the relative dispatch order at one instant.
-            self.engine.annotate(
-                tmo, f"sharedpipe@{id(self):x}",
+            engine.annotate(
+                timer, f"sharedpipe@{id(self):x}",
                 op="rearm", exclusive=False,
             )
-        tmo.add_callback(lambda ev: self._on_timer(token))
 
-    def _on_timer(self, token: int) -> None:
+    def _on_timer(self, token: int, _unused: Any = None) -> None:
         if token != self._timer_token:
             return  # superseded by a later arrival
         self._settle()
@@ -231,6 +293,12 @@ class Server(FifoQueueMixin):
     congestion-dependent behaviour.
     """
 
+    __slots__ = (
+        "engine", "rate", "concurrency", "overhead", "name", "_busy",
+        "_queue", "bytes_served", "requests_served", "busy_time",
+        "_finish_cb",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -253,6 +321,8 @@ class Server(FifoQueueMixin):
         self.bytes_served = 0.0
         self.requests_served = 0
         self.busy_time = 0.0
+        #: bound once (same reasoning as SlotChannel._finish_cb)
+        self._finish_cb = self._finish
 
     def request(self, nbytes: float, factor: float = 1.0) -> Event:
         if nbytes < 0:
@@ -263,6 +333,7 @@ class Server(FifoQueueMixin):
         return done
 
     def _drain(self) -> None:
+        engine = self.engine
         while self._queue and self._busy < self.concurrency:
             nbytes, factor, done = self._queue.popleft()
             self._busy += 1
@@ -271,26 +342,67 @@ class Server(FifoQueueMixin):
             self.bytes_served += nbytes
             self.requests_served += 1
             self.busy_time += duration
-            tmo = self.engine.timeout(duration)
-            if self.engine.sanitize:
+            if engine._fast and duration >= 0.0:
+                # inlined Engine._complete_later fast path (same shape as
+                # SlotChannel._drain; see _complete_later for the checked
+                # form)
+                pool = engine._comp_pool
+                completion = pool.pop() if pool else _Completion(engine)
+                completion._fn = self._finish_cb
+                completion._a = done
+                completion._b = duration
+                now = engine.now
+                at = now + duration
+                if at > now:
+                    # reprolint: disable=D004 (bucket-cache key; exact identity is the contract)
+                    if at == engine._last_at:
+                        engine._last_bucket.append(completion)
+                    else:
+                        buckets = engine._buckets
+                        bucket = buckets.get(at)
+                        if bucket is None:
+                            heappush(engine._times, at)
+                            buckets[at] = bucket = deque((completion,))
+                        else:
+                            bucket.append(completion)
+                        engine._last_at = at
+                        engine._last_bucket = bucket
+                else:
+                    engine._tail.append(completion)
+            else:
+                completion = engine._complete_later(
+                    duration, self._finish_cb, done, duration
+                )
+            if engine.sanitize:
                 # Commutative: same argument as SlotChannel -- completions
                 # free capacity, the FIFO queue alone picks the next
                 # request, and durations are fixed at drain time.
-                self.engine.annotate(
-                    tmo, f"server:{self.name}@{id(self):x}",
+                engine.annotate(
+                    completion, f"server:{self.name}@{id(self):x}",
                     op="complete", exclusive=False,
                 )
-            tmo.add_callback(lambda ev, d=done, dur=duration: self._finish(d, dur))
 
     def _finish(self, done: Event, duration: float) -> None:
         self._busy -= 1
-        done.succeed(duration)
+        # inlined done.succeed(duration) -- see SlotChannel._finish
+        engine = self.engine
+        if engine._fast and not done._triggered:
+            done._triggered = True
+            done._value = duration
+            engine._tail.append(done)
+        else:
+            done.succeed(duration)
         self._drain()
 
 
 class Lock:
     """FIFO mutex.  ``acquire()`` returns an event; call :meth:`release`
     from the holder when done."""
+
+    __slots__ = (
+        "engine", "name", "_held", "_waiters", "acquisitions",
+        "contended_acquisitions",
+    )
 
     def __init__(self, engine: Engine, name: str = "lock") -> None:
         self.engine = engine
@@ -330,6 +442,8 @@ class Lock:
 
 class Semaphore:
     """Counting semaphore with FIFO waiters."""
+
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_waiters")
 
     def __init__(self, engine: Engine, capacity: int, name: str = "sem") -> None:
         if capacity < 1:

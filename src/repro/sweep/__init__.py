@@ -1,0 +1,364 @@
+"""Multi-core sweep runner for independent fixed-seed simulations.
+
+The paper's methodology is ensemble-first: one run is an anecdote, a
+sweep of fixed-seed runs is a distribution (Section III).  Every
+simulation in this repo is deterministic and single-threaded, so a sweep
+is embarrassingly parallel -- this module shards a list of
+:class:`SweepTask` across worker *processes* (one interpreter each; no
+shared simulation state) and reassembles results in task order, so the
+output is byte-identical no matter how many workers ran it.
+
+Guarantees, enforced by ``tests/test_sweep.py`` and the Hypothesis
+properties in ``tests/test_sweep_properties.py``:
+
+- **Deterministic ordering** -- ``SweepRunner.run()`` returns one
+  :class:`SweepResult` per task, in task order, for any worker count.
+- **Shard-count invariance** -- runs with 1 and N workers produce
+  identical ordered results and identical RunStore contents.  Store
+  identity holds because every worker stamps records with the *parent's*
+  single ``created_at`` and ``wall_time=None``, making ``run_id`` a pure
+  content hash; the store's idempotent ``put`` plus its busy-timeout
+  retry absorb concurrent writers.
+- **Crash isolation** -- a worker that dies (segfault, ``os._exit``,
+  unhandled exception) yields recorded failures for its unfinished
+  tasks; the sweep itself always completes and other shards are
+  unaffected.
+
+Tasks come in three kinds:
+
+- ``experiment`` -- run ``repro.experiments`` module ``name`` at
+  ``scale``; optionally save the loose ``EXP_*.json`` and ingest the
+  result into a run store.
+- ``callable`` -- import ``name`` as ``"module:function"`` and call it
+  with ``args`` as keyword arguments (the generic escape hatch, also
+  what the crash-isolation tests poison).
+- ``ingest`` -- backfill ``args["paths"]`` (BENCH_*/EXP_* JSON) into the
+  run store.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from queue import Empty
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SweepError",
+    "SweepTask",
+    "SweepResult",
+    "shard_tasks",
+    "experiment_tasks",
+    "SweepRunner",
+    "run_sweep",
+]
+
+
+class SweepError(RuntimeError):
+    """Invalid sweep configuration or task definition."""
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of work.
+
+    ``kind`` is ``"experiment"``, ``"callable"``, or ``"ingest"``;
+    ``name`` is the experiment name, ``"module:function"`` path, or a
+    label for ingest tasks; ``scale`` applies to experiments only.
+    """
+
+    kind: str
+    name: str
+    scale: str = "paper"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        if self.kind == "experiment":
+            return f"{self.name}@{self.scale}"
+        return f"{self.kind}:{self.name}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one task: ``payload`` on success (the experiment's
+    ``result_to_dict`` output, the callable's return value, or ingest
+    stats), ``error`` (a traceback or crash description) on failure.
+    ``worker`` records which shard ran it (diagnostic only -- it varies
+    with worker count; everything else must not)."""
+
+    task: SweepTask
+    index: int
+    ok: bool
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    worker: int = -1
+
+
+def shard_tasks(n_tasks: int, workers: int) -> List[range]:
+    """Partition task indices ``0..n_tasks-1`` into ``workers``
+    contiguous, order-preserving, balanced slices (sizes differ by at
+    most one; empty shards are dropped).
+
+    Contiguity is a determinism aid: which worker runs a task is a pure
+    function of ``(n_tasks, workers)``, never of completion timing.
+    """
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, n_tasks) or 1
+    base, extra = divmod(n_tasks, workers)
+    shards: List[range] = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        if size:
+            shards.append(range(start, start + size))
+        start += size
+    return shards
+
+
+def experiment_tasks(
+    names: Sequence[str], scale: str = "paper"
+) -> List[SweepTask]:
+    """Tasks for the named experiments (all of them when empty), with
+    unknown names rejected up front -- a sweep should fail before it
+    forks, not in a worker."""
+    from ..experiments import ALL_EXPERIMENTS
+
+    chosen = list(names) or list(ALL_EXPERIMENTS)
+    unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SweepError(
+            f"unknown experiment(s) {unknown!r}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    return [SweepTask(kind="experiment", name=n, scale=scale) for n in chosen]
+
+
+def _resolve_callable(path: str) -> Any:
+    module_name, sep, fn_name = path.partition(":")
+    if not sep or not module_name or not fn_name:
+        raise SweepError(
+            f"callable task name must be 'module:function', got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, fn_name)
+    except AttributeError as exc:
+        raise SweepError(f"no {fn_name!r} in module {module_name!r}") from exc
+
+
+def _run_task(
+    task: SweepTask,
+    created_at: str,
+    store: Any,
+    save_dir: Optional[str],
+) -> Optional[Dict[str, Any]]:
+    """Execute one task (in a worker process) and return its payload."""
+    if task.kind == "experiment":
+        from ..experiments import ALL_EXPERIMENTS
+        from ..experiments.runner import result_to_dict, save_result
+
+        module = ALL_EXPERIMENTS[task.name]
+        result = module.run(task.scale)
+        payload = result_to_dict(result)
+        if save_dir:
+            save_result(result, save_dir)
+        if store is not None:
+            from ..store.capture import record_from_experiment_dict
+
+            # wall_time deliberately omitted and created_at fixed by the
+            # parent: the record must hash identically on every worker
+            # layout for the store-identity guarantee
+            store.put(record_from_experiment_dict(
+                payload, wall_time=None, created_at=created_at
+            ))
+        return payload
+    if task.kind == "callable":
+        fn = _resolve_callable(task.name)
+        out = fn(**dict(task.args))
+        if isinstance(out, dict):
+            return {str(k): v for k, v in out.items()}
+        return {"value": out}
+    if task.kind == "ingest":
+        if store is None:
+            raise SweepError("ingest tasks need a --store destination")
+        from ..store.ingest import ingest_paths
+
+        stats = ingest_paths(
+            store, list(task.args.get("paths", ())), created_at=created_at
+        )
+        return {
+            "files": stats.files,
+            "inserted": stats.inserted,
+            "duplicates": stats.duplicates,
+        }
+    raise SweepError(f"unknown task kind {task.kind!r}")
+
+
+def _worker_main(
+    shard_id: int,
+    indexed: List[Tuple[int, SweepTask]],
+    created_at: str,
+    store_path: Optional[str],
+    save_dir: Optional[str],
+    queue: Any,
+) -> None:
+    """Worker entry point: run this shard's tasks in order, reporting
+    each as it finishes, then the shard's done-sentinel.
+
+    Every worker opens its own store connection (connections must not
+    cross a fork); a task exception is captured as a failed result and
+    the shard continues -- only a hard crash takes the shard down, and
+    the parent detects that by the missing sentinel.
+    """
+    store = None
+    if store_path is not None:
+        from ..store import RunStore
+
+        store = RunStore(store_path)
+    try:
+        for index, task in indexed:
+            try:
+                payload = _run_task(task, created_at, store, save_dir)
+            except BaseException:  # noqa: BLE001 - report, don't sink shard
+                queue.put(
+                    ("result", index, False, None, traceback.format_exc())
+                )
+            else:
+                queue.put(("result", index, True, payload, None))
+        queue.put(("done", shard_id, None, None, None))
+    finally:
+        if store is not None:
+            store.close()
+
+
+#: parent poll interval while waiting on worker messages (host seconds;
+#: liveness, not simulation time)
+_POLL_S = 0.2
+
+
+class SweepRunner:
+    """Shard ``tasks`` across ``workers`` processes and collect results.
+
+    ``store_path``/``save_dir`` are forwarded to every worker;
+    ``created_at`` is the single timestamp stamped on every store record
+    (pass :func:`repro.store.clock.utc_stamp` output from the CLI; tests
+    pass a constant).  ``run()`` may be called once per instance.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SweepTask],
+        workers: int = 1,
+        store_path: Optional[str] = None,
+        save_dir: Optional[str] = None,
+        created_at: str = "",
+    ) -> None:
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        self.tasks = list(tasks)
+        self.workers = int(workers)
+        self.store_path = store_path
+        self.save_dir = save_dir
+        self.created_at = created_at
+
+    def run(self) -> List[SweepResult]:
+        tasks = self.tasks
+        if not tasks:
+            return []
+        shards = shard_tasks(len(tasks), self.workers)
+        # fork keeps worker start cheap and inherits sys.path; fall back
+        # to the platform default where fork is unavailable (typeshed's
+        # BaseContext lacks .Process, hence the Any)
+        ctx: Any
+        try:
+            ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = get_context()
+        queue = ctx.Queue()
+        procs = []
+        shard_of: Dict[int, int] = {}
+        for shard_id, shard in enumerate(shards):
+            indexed = [(i, tasks[i]) for i in shard]
+            for i in shard:
+                shard_of[i] = shard_id
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    shard_id, indexed, self.created_at,
+                    self.store_path, self.save_dir, queue,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+
+        collected: Dict[int, SweepResult] = {}
+        pending = set(range(len(shards)))
+        dead_polls: Dict[int, int] = {}
+        while pending:
+            try:
+                kind, a, b, c, d = queue.get(timeout=_POLL_S)
+            except Empty:
+                # no message: reap shards that died without a sentinel,
+                # allowing one extra empty poll so results a worker
+                # flushed just before crashing still drain from the pipe
+                for shard_id in sorted(pending):
+                    proc = procs[shard_id]
+                    if proc.is_alive():
+                        continue
+                    dead_polls[shard_id] = dead_polls.get(shard_id, 0) + 1
+                    if dead_polls[shard_id] < 2:
+                        continue
+                    pending.discard(shard_id)
+                    for i in shards[shard_id]:
+                        if i not in collected:
+                            collected[i] = SweepResult(
+                                task=tasks[i], index=i, ok=False,
+                                error=(
+                                    f"worker {shard_id} died "
+                                    f"(exitcode {proc.exitcode}) before "
+                                    f"reporting this task"
+                                ),
+                                worker=shard_id,
+                            )
+                continue
+            if kind == "done":
+                pending.discard(a)
+            else:
+                index, ok, payload, error = a, b, c, d
+                collected[index] = SweepResult(
+                    task=tasks[index], index=index, ok=ok,
+                    payload=payload, error=error,
+                    worker=shard_of[index],
+                )
+        for proc in procs:
+            proc.join()
+        queue.close()
+        # a shard can crash after reporting results but before its
+        # sentinel drained; anything still missing is a recorded failure
+        for i in range(len(tasks)):
+            if i not in collected:
+                shard_id = shard_of[i]
+                collected[i] = SweepResult(
+                    task=tasks[i], index=i, ok=False,
+                    error=f"worker {shard_id} exited without reporting",
+                    worker=shard_id,
+                )
+        return [collected[i] for i in range(len(tasks))]
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    workers: int = 1,
+    store_path: Optional[str] = None,
+    save_dir: Optional[str] = None,
+    created_at: str = "",
+) -> List[SweepResult]:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(
+        tasks, workers=workers, store_path=store_path,
+        save_dir=save_dir, created_at=created_at,
+    ).run()

@@ -1,0 +1,227 @@
+"""Sweep runner: sharding, the CLI, and the store-identity acceptance gate.
+
+The headline acceptance criterion lives here:
+``test_parallel_sweep_store_identical_to_serial`` runs the experiments
+driver serially and with 4 workers and asserts the two RunStores are
+row-for-row identical -- the sweep runner may change wall-clock, never
+content.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store.schema import canonical_json
+from repro.sweep import (
+    SweepError,
+    SweepRunner,
+    SweepTask,
+    experiment_tasks,
+    run_sweep,
+    shard_tasks,
+)
+from repro.sweep.__main__ import main as sweep_main
+
+#: a constant ingest stamp: run_id is a content hash over payload +
+#: created_at, so a fixed stamp makes store rows fully deterministic
+STAMP = "2026-01-01T00:00:00Z"
+
+
+# -- sharding ------------------------------------------------------------------
+
+def test_shards_are_contiguous_balanced_and_complete():
+    shards = shard_tasks(10, 3)
+    assert [list(s) for s in shards] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+
+def test_more_workers_than_tasks_drops_empty_shards():
+    shards = shard_tasks(2, 8)
+    assert [list(s) for s in shards] == [[0], [1]]
+
+
+def test_zero_tasks_yield_no_shards():
+    assert shard_tasks(0, 4) == []
+
+
+def test_invalid_worker_count_is_rejected():
+    with pytest.raises(SweepError):
+        shard_tasks(5, 0)
+    with pytest.raises(SweepError):
+        SweepRunner([], workers=0)
+
+
+def test_experiment_tasks_rejects_unknown_names():
+    with pytest.raises(SweepError, match="nosuch"):
+        experiment_tasks(["fig1", "nosuch"], "tiny")
+
+
+def test_experiment_tasks_default_is_every_experiment():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    tasks = experiment_tasks([], "small")
+    assert [t.name for t in tasks] == list(ALL_EXPERIMENTS)
+    assert all(t.scale == "small" and t.kind == "experiment" for t in tasks)
+
+
+# -- callable / ingest task kinds ---------------------------------------------
+
+def _double(x):
+    return {"doubled": 2 * x}
+
+
+def test_callable_tasks_run_and_keep_order():
+    tasks = [
+        SweepTask(kind="callable", name=f"{__name__}:_double", args={"x": i})
+        for i in range(5)
+    ]
+    results = run_sweep(tasks, workers=2)
+    assert [r.index for r in results] == [0, 1, 2, 3, 4]
+    assert all(r.ok for r in results)
+    assert [r.payload["doubled"] for r in results] == [0, 2, 4, 6, 8]
+
+
+def test_bad_callable_path_is_a_recorded_failure():
+    results = run_sweep(
+        [SweepTask(kind="callable", name="not-a-path", args={})], workers=1
+    )
+    assert results[0].ok is False
+    assert "module:function" in results[0].error
+
+
+def test_ingest_task_backfills_loose_files(tmp_path):
+    exp = {
+        "experiment": "fig1", "scale": "tiny", "summary": {"x": 1.0},
+        "series": {}, "verdicts": {"ok": True}, "notes": [],
+        "all_verdicts_hold": True,
+    }
+    src = tmp_path / "EXP_fig1_tiny.json"
+    src.write_text(json.dumps(exp))
+    db = tmp_path / "store.sqlite"
+    results = run_sweep(
+        [SweepTask(kind="ingest", name="backfill", args={"paths": [str(src)]})],
+        workers=1, store_path=str(db), created_at=STAMP,
+    )
+    assert results[0].ok, results[0].error
+    assert results[0].payload["inserted"] == 1
+    assert _store_rows(db), "ingested record must land in the store"
+
+
+def test_ingest_without_store_fails_cleanly(tmp_path):
+    results = run_sweep(
+        [SweepTask(kind="ingest", name="x", args={"paths": []})], workers=1
+    )
+    assert results[0].ok is False
+    assert "--store" in results[0].error
+
+
+# -- the acceptance gate: serial vs parallel store identity --------------------
+
+_GATE_EXPERIMENTS = ["fig1", "fig2", "fig4", "fig5"]
+
+
+def _store_rows(db_path):
+    """Every record in the store, sorted, minus the ``seq`` autoincrement
+    column -- seq reflects physical arrival order, which legitimately
+    varies with worker scheduling; record *content* must not."""
+    with sqlite3.connect(str(db_path)) as conn:
+        rows = conn.execute("SELECT * FROM runs").fetchall()
+    return sorted(row[1:] for row in rows)
+
+
+def _payload_essence(res):
+    """Everything about a result that must be worker-count invariant
+    (the worker id is diagnostic and legitimately varies).  Payloads are
+    compared through the store's canonical JSON -- the same
+    serialisation the run_id hash sees -- which also sidesteps numpy
+    array equality in experiment series."""
+    payload = None if res.payload is None else canonical_json(res.payload)
+    return (res.index, res.task, res.ok, payload, res.error)
+
+
+def test_parallel_sweep_store_identical_to_serial(tmp_path):
+    tasks = experiment_tasks(_GATE_EXPERIMENTS, "tiny")
+
+    serial_db = tmp_path / "serial.sqlite"
+    serial = SweepRunner(
+        tasks, workers=1, store_path=str(serial_db), created_at=STAMP
+    ).run()
+
+    parallel_db = tmp_path / "parallel.sqlite"
+    parallel = SweepRunner(
+        tasks, workers=4, store_path=str(parallel_db), created_at=STAMP
+    ).run()
+
+    assert all(r.ok for r in serial), [r.error for r in serial if not r.ok]
+    assert all(r.ok for r in parallel), [
+        r.error for r in parallel if not r.ok
+    ]
+    assert [_payload_essence(r) for r in serial] == [
+        _payload_essence(r) for r in parallel
+    ]
+    serial_rows = _store_rows(serial_db)
+    assert serial_rows, "serial sweep must have stored records"
+    assert serial_rows == _store_rows(parallel_db)
+
+
+def test_repeat_sweep_into_same_store_is_idempotent(tmp_path):
+    tasks = experiment_tasks(["fig1"], "tiny")
+    db = tmp_path / "store.sqlite"
+    SweepRunner(tasks, workers=1, store_path=str(db), created_at=STAMP).run()
+    first = _store_rows(db)
+    SweepRunner(tasks, workers=1, store_path=str(db), created_at=STAMP).run()
+    assert _store_rows(db) == first
+
+
+def test_save_dir_writes_canonical_loose_files(tmp_path):
+    out = tmp_path / "results"
+    results = run_sweep(
+        experiment_tasks(["fig1"], "tiny"), workers=1, save_dir=str(out)
+    )
+    assert results[0].ok, results[0].error
+    files = sorted(out.glob("EXP_*_tiny.json"))
+    assert len(files) == 1, files
+    saved = json.loads(files[0].read_text())
+    assert canonical_json(saved) == canonical_json(results[0].payload)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def test_cli_runs_and_reports(tmp_path, capsys):
+    db = tmp_path / "store.sqlite"
+    code = sweep_main(
+        ["tiny", "fig1", "fig2", "--workers", "2", "--store", str(db)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ok   fig1@tiny" in out
+    assert "ok   fig2@tiny" in out
+    assert "2/2 tasks ok" in out
+    assert _store_rows(db)
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    assert sweep_main(["tiny", "nosuch"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_worker_count(capsys):
+    assert sweep_main(["tiny", "fig1", "--workers", "0"]) == 2
+
+
+def test_cli_failure_exit_is_nonzero(capsys):
+    # a callable task that raises, injected through the runner the CLI
+    # uses, must exit non-zero; drive the runner directly to keep the
+    # CLI surface (selectors) experiment-only
+    results = run_sweep(
+        [SweepTask(kind="callable", name=f"{__name__}:_raise", args={})],
+        workers=1,
+    )
+    assert results[0].ok is False
+    assert "boom" in results[0].error
+
+
+def _raise():
+    raise RuntimeError("boom")

@@ -1,0 +1,166 @@
+"""Hypothesis properties of the sweep runner.
+
+Three guarantees, stated as properties rather than examples:
+
+1. ``shard_tasks`` is a true partition for ANY (n_tasks, workers) --
+   contiguous, complete, balanced, order-preserving;
+2. shard-count invariance: the ordered results of a sweep are a pure
+   function of the task list, never of the worker count;
+3. crash isolation: a worker that raises, or dies outright
+   (``os._exit``), yields recorded failures for its unreported tasks
+   while every other shard's tasks still succeed.
+
+Worker processes cost real milliseconds, so the process-spawning
+properties keep ``max_examples`` low; the pure sharding maths runs the
+default budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sweep import SweepTask, run_sweep, shard_tasks
+
+_HERE = __name__  # workers import helpers back out of this module
+
+
+# -- helpers run inside worker processes ---------------------------------------
+
+def _square(x):
+    return {"squared": x * x}
+
+
+def _poison(x):
+    raise ValueError(f"poisoned task {x}")
+
+
+def _hard_crash(x):
+    # simulate a segfault: no exception, no cleanup, no sentinel
+    os._exit(3)
+
+
+def _square_tasks(xs):
+    return [
+        SweepTask(kind="callable", name=f"{_HERE}:_square", args={"x": x})
+        for x in xs
+    ]
+
+
+# -- 1: sharding is a partition ------------------------------------------------
+
+@given(
+    n_tasks=st.integers(min_value=0, max_value=500),
+    workers=st.integers(min_value=1, max_value=64),
+)
+def test_shards_partition_the_index_space(n_tasks, workers):
+    shards = shard_tasks(n_tasks, workers)
+    flat = [i for shard in shards for i in shard]
+    # complete, ordered, no duplicates, no gaps
+    assert flat == list(range(n_tasks))
+    # never more shards than workers or tasks, none empty
+    assert len(shards) <= min(workers, n_tasks) if n_tasks else not shards
+    assert all(len(s) > 0 for s in shards)
+    # balanced: sizes differ by at most one
+    if shards:
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=200),
+    workers=st.integers(min_value=1, max_value=32),
+)
+def test_shard_assignment_is_deterministic(n_tasks, workers):
+    """Which worker owns a task is a pure function of (n_tasks, workers)."""
+    assert shard_tasks(n_tasks, workers) == shard_tasks(n_tasks, workers)
+
+
+# -- 2: shard-count invariance -------------------------------------------------
+
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    xs=st.lists(
+        st.integers(min_value=-100, max_value=100), min_size=1, max_size=8
+    ),
+    workers=st.integers(min_value=2, max_value=5),
+)
+def test_results_are_worker_count_invariant(xs, workers):
+    """1 worker and N workers produce identical ordered results (modulo
+    the diagnostic ``worker`` field)."""
+    tasks = _square_tasks(xs)
+    serial = run_sweep(tasks, workers=1)
+    parallel = run_sweep(tasks, workers=workers)
+
+    def essence(results):
+        return [(r.index, r.task, r.ok, r.payload, r.error) for r in results]
+
+    assert essence(serial) == essence(parallel)
+    assert [r.payload["squared"] for r in parallel] == [x * x for x in xs]
+
+
+# -- 3: crash isolation --------------------------------------------------------
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    prefix=st.lists(
+        st.integers(min_value=0, max_value=20), min_size=1, max_size=3
+    ),
+    suffix=st.lists(
+        st.integers(min_value=0, max_value=20), min_size=1, max_size=3
+    ),
+)
+def test_raised_exceptions_do_not_sink_the_shard(prefix, suffix):
+    """A task that raises is a recorded failure; tasks before AND after
+    it on the same shard still run."""
+    tasks = (
+        _square_tasks(prefix)
+        + [SweepTask(kind="callable", name=f"{_HERE}:_poison", args={"x": 9})]
+        + _square_tasks(suffix)
+    )
+    results = run_sweep(tasks, workers=1)  # one shard holds them all
+    bad = results[len(prefix)]
+    assert bad.ok is False
+    assert "poisoned task 9" in bad.error
+    good = results[: len(prefix)] + results[len(prefix) + 1:]
+    assert all(r.ok for r in good)
+    assert [r.payload["squared"] for r in good] == [
+        x * x for x in prefix + suffix
+    ]
+
+
+@settings(
+    max_examples=4, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(n_other=st.integers(min_value=2, max_value=6))
+def test_dead_worker_is_isolated_and_reported(n_other):
+    """A worker that exits without cleanup takes down only its own
+    shard's unreported tasks; the sweep completes and all other shards'
+    results arrive intact."""
+    crash = SweepTask(kind="callable", name=f"{_HERE}:_hard_crash", args={"x": 0})
+    others = _square_tasks(range(n_other))
+    # 2 workers -> contiguous shards: the crash task leads shard 0 and
+    # kills it; shard 1 must be untouched
+    tasks = [crash] + others
+    shards = shard_tasks(len(tasks), 2)
+    results = run_sweep(tasks, workers=2)
+
+    assert len(results) == len(tasks)
+    dead_indices = set(shards[0])
+    for res in results:
+        if res.index in dead_indices:
+            assert res.ok is False
+            assert "worker 0" in res.error
+            assert "died" in res.error or "without reporting" in res.error
+        else:
+            assert res.ok, res.error
+            assert res.payload["squared"] == (res.index - 1) ** 2
